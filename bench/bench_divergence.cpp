@@ -1,0 +1,160 @@
+// Reproduction of the divergence-sensitivity claims:
+//   Theorem 2.12 (no CD): success w.p. >= 1/16 within O(2^T) rounds,
+//       T = 2 H(c(X)) + 2 D_KL(c(X) || c(Y));
+//   Theorem 2.16 (CD): success w.c.p. within O((H + D_KL)^2) rounds;
+//   and the robustness remark: bounded-constant-factor prediction error
+//   keeps D_KL = O(1), so such predictions stay useful.
+#include <cmath>
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "channel/rng.h"
+#include "core/coded_search.h"
+#include "core/likelihood_schedule.h"
+#include "harness/fit.h"
+#include "harness/measure.h"
+#include "harness/table.h"
+#include "info/distribution.h"
+#include "predict/families.h"
+#include "predict/noise.h"
+
+namespace {
+
+constexpr std::size_t kNetwork = 1 << 16;
+constexpr std::size_t kTrials = 6000;
+constexpr std::uint64_t kSeed = 271828;
+using crp::harness::fmt;
+
+void print_divergence_sweep() {
+  const std::size_t ranges = crp::info::num_ranges(kNetwork);
+  const auto truth = crp::predict::geometric_ranges(ranges, 0.35);
+  const auto actual = crp::predict::lift(
+      truth, kNetwork, crp::predict::RangePlacement::kHighEndpoint);
+  const auto adversary = crp::predict::smooth_with_uniform(
+      crp::predict::reverse_ranges(truth), 0.05);
+  const double h = truth.entropy();
+  std::cout << "== Divergence sweep (n = " << kNetwork
+            << ", H(c(X)) = " << fmt(h, 2)
+            << ", prediction = (1-t)*truth + t*reversed) ==\n";
+  crp::harness::Table table({"D_KL(X||Y)", "2^(2H+2D) bound",
+                             "noCD r@1/16", "noCD mean",
+                             "(H+D)^2 bound", "CD mean"});
+  std::vector<double> divergences;
+  std::vector<double> nocd_means;
+  std::vector<double> cd_means;
+  for (double t : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const auto prediction = crp::predict::mix(truth, adversary, 1.0 - t);
+    const double d = truth.kl_divergence(prediction);
+
+    const crp::core::LikelihoodOrderedSchedule schedule(prediction);
+    const auto no_cd = crp::harness::measure_uniform_no_cd(
+        schedule, actual, kTrials, kSeed, 1 << 18);
+    double r16 = 1.0;
+    while (no_cd.solved_within(r16) < 1.0 / 16.0) r16 += 1.0;
+
+    const crp::core::CodedSearchPolicy policy(prediction);
+    const auto cd = crp::harness::measure_uniform_cd(
+        policy, actual, kTrials, kSeed + 1, 1 << 14);
+
+    table.add_row({fmt(d, 3), fmt(std::exp2(2 * h + 2 * d), 1),
+                   fmt(r16, 0), fmt(no_cd.rounds.mean, 2),
+                   fmt((h + d + 1) * (h + d + 1), 1),
+                   fmt(cd.rounds.mean, 2)});
+    divergences.push_back(d);
+    nocd_means.push_back(no_cd.rounds.mean);
+    cd_means.push_back(cd.rounds.mean);
+  }
+  table.print(std::cout);
+  std::cout << "shape check: spearman(D_KL, noCD mean) = "
+            << fmt(crp::harness::spearman(divergences, nocd_means), 3)
+            << ", spearman(D_KL, CD mean) = "
+            << fmt(crp::harness::spearman(divergences, cd_means), 3)
+            << " (paper: both increase with divergence)\n\n";
+}
+
+void print_bounded_factor_robustness() {
+  const std::size_t ranges = crp::info::num_ranges(kNetwork);
+  const auto truth = crp::predict::geometric_ranges(ranges, 0.35);
+  const auto actual = crp::predict::lift(
+      truth, kNetwork, crp::predict::RangePlacement::kHighEndpoint);
+  std::cout << "== Bounded-factor robustness (D_KL <= 2 log2 c stays "
+               "O(1)) ==\n";
+  crp::harness::Table table(
+      {"jitter factor c", "measured D_KL", "noCD mean", "vs exact"});
+  const crp::core::LikelihoodOrderedSchedule exact_schedule(truth);
+  const auto exact = crp::harness::measure_uniform_no_cd(
+      exact_schedule, actual, kTrials, kSeed + 2, 1 << 18);
+  for (double factor : {1.0, 1.5, 2.0, 4.0, 8.0}) {
+    auto rng = crp::channel::make_rng(kSeed + 7);
+    const auto prediction =
+        crp::predict::multiplicative_jitter(truth, factor, rng);
+    const crp::core::LikelihoodOrderedSchedule schedule(prediction);
+    const auto noisy = crp::harness::measure_uniform_no_cd(
+        schedule, actual, kTrials, kSeed + 2, 1 << 18);
+    table.add_row({fmt(factor, 1),
+                   fmt(truth.kl_divergence(prediction), 3),
+                   fmt(noisy.rounds.mean, 2),
+                   fmt(noisy.rounds.mean / exact.rounds.mean, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void print_learned_predictor() {
+  const auto truth = crp::predict::log_normal_sizes(kNetwork, 7.0, 1.2);
+  const auto condensed_truth = truth.condense();
+  std::cout << "== Learned predictor: rounds improve 'for free' as the "
+               "model sees more samples ==\n";
+  crp::harness::Table table(
+      {"training samples", "D_KL(X||Y)", "noCD mean", "CD mean"});
+  for (std::size_t samples : {0ul, 3ul, 10ul, 100ul, 10000ul}) {
+    auto rng = crp::channel::make_rng(kSeed + 11);
+    const auto prediction =
+        crp::predict::empirical_predictor(truth, samples, 0.5, rng);
+    const crp::core::LikelihoodOrderedSchedule schedule(prediction);
+    const crp::core::CodedSearchPolicy policy(prediction);
+    const auto no_cd = crp::harness::measure_uniform_no_cd(
+        schedule, truth, kTrials, kSeed + 3, 1 << 18);
+    const auto cd = crp::harness::measure_uniform_cd(
+        policy, truth, kTrials, kSeed + 4, 1 << 14);
+    table.add_row({fmt(samples),
+                   fmt(condensed_truth.kl_divergence(prediction), 3),
+                   fmt(no_cd.rounds.mean, 2), fmt(cd.rounds.mean, 2)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+// ---- microbenchmarks ----
+
+void BM_KlDivergence(benchmark::State& state) {
+  const std::size_t ranges = static_cast<std::size_t>(state.range(0));
+  const auto p = crp::predict::geometric_ranges(ranges, 0.5);
+  const auto q = crp::predict::smooth_with_uniform(p, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.kl_divergence(q));
+  }
+}
+BENCHMARK(BM_KlDivergence)->Arg(16)->Arg(64);
+
+void BM_EmpiricalPredictor(benchmark::State& state) {
+  const auto truth = crp::predict::log_normal_sizes(kNetwork, 7.0, 1.2);
+  auto rng = crp::channel::make_rng(kSeed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crp::predict::empirical_predictor(
+        truth, static_cast<std::size_t>(state.range(0)), 0.5, rng));
+  }
+}
+BENCHMARK(BM_EmpiricalPredictor)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_divergence_sweep();
+  print_bounded_factor_robustness();
+  print_learned_predictor();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

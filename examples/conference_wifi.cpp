@@ -1,0 +1,111 @@
+// Scenario: conference-hall Wi-Fi with a drifting prediction model.
+//
+// A hall hosts sessions whose attendance regime changes through the
+// day: sparse mornings, packed keynotes, mid-sized breakouts. An access
+// point learns a size distribution from past days and uses it to
+// resolve contention among stations waking up simultaneously. This
+// example walks a full day:
+//   * the learned model starts stale (trained on yesterday's pattern),
+//   * each session's true size is drawn from today's regime,
+//   * after each session the model retrains on the sizes it observed,
+// and reports how the measured KL divergence and the round complexity
+// of the Section 2.5 algorithm fall as the model catches up — the
+// "predictions improve for free" story from the paper's introduction.
+#include <iostream>
+#include <vector>
+
+#include "baselines/decay.h"
+#include "channel/rng.h"
+#include "core/likelihood_schedule.h"
+#include "harness/measure.h"
+#include "harness/table.h"
+#include "info/distribution.h"
+#include "predict/families.h"
+#include "predict/noise.h"
+
+namespace {
+
+constexpr std::size_t kNetwork = 1 << 12;  // 4096 stations provisioned
+
+struct Session {
+  const char* name;
+  double log_mean;  // log of typical attendance
+  double spread;
+};
+
+}  // namespace
+
+int main() {
+  // Today's regimes. Yesterday (the training data) had no keynote, so
+  // the model begins badly wrong for session 2.
+  const std::vector<Session> today{
+      {"registration", std::log(40.0), 0.5},
+      {"keynote", std::log(1800.0), 0.25},
+      {"breakouts", std::log(250.0), 0.6},
+      {"closing", std::log(600.0), 0.4},
+  };
+  const auto yesterday =
+      crp::predict::log_normal_sizes(kNetwork, std::log(120.0), 0.8);
+
+  auto rng = crp::channel::make_rng(7);
+  // Laplace-smoothed range histogram the AP keeps updating.
+  std::vector<double> observed_range_counts(
+      crp::info::num_ranges(kNetwork), 0.25);
+  // Seed the model with "yesterday": 50 pseudo-observations.
+  for (int i = 0; i < 50; ++i) {
+    observed_range_counts[crp::info::range_of_size(yesterday.sample(rng)) -
+                          1] += 1.0;
+  }
+
+  const crp::baselines::DecaySchedule decay(kNetwork);
+  crp::harness::Table table({"session", "true regime", "D_KL(X||model)",
+                             "predicted mean", "decay mean", "saving"});
+  for (const Session& session : today) {
+    const auto truth = crp::predict::log_normal_sizes(
+        kNetwork, session.log_mean, session.spread);
+    const auto truth_condensed = truth.condense();
+
+    // Current model -> prediction distribution.
+    std::vector<double> weights = observed_range_counts;
+    double total = 0.0;
+    for (double w : weights) total += w;
+    for (double& w : weights) w /= total;
+    const crp::info::CondensedDistribution model{std::move(weights)};
+
+    const crp::core::LikelihoodOrderedSchedule schedule(model);
+    constexpr std::size_t trials = 4000;
+    const auto m_pred = crp::harness::measure_uniform_no_cd(
+        schedule, truth, trials, /*seed=*/11, 1 << 14);
+    const auto m_decay = crp::harness::measure_uniform_no_cd(
+        decay, truth, trials, /*seed=*/11, 1 << 14);
+
+    table.add_row(
+        {session.name,
+         "~" + crp::harness::fmt(std::exp(session.log_mean), 0) +
+             " stations",
+         crp::harness::fmt(truth_condensed.kl_divergence(model), 3),
+         crp::harness::fmt(m_pred.rounds.mean, 2),
+         crp::harness::fmt(m_decay.rounds.mean, 2),
+         crp::harness::fmt(
+             100.0 * (1.0 - m_pred.rounds.mean / m_decay.rounds.mean),
+             0) +
+             "%"});
+
+    // The AP observes this session's contention instances (40 of them)
+    // and folds them into the model for the next session.
+    for (int i = 0; i < 40; ++i) {
+      observed_range_counts[crp::info::range_of_size(truth.sample(rng)) -
+                            1] += 1.0;
+    }
+  }
+  std::cout << "Conference-hall Wi-Fi: prediction-augmented contention "
+               "resolution across a day\n(model retrains after each "
+               "session; negative saving = stale model worse than "
+               "prediction-free decay)\n\n";
+  table.print(std::cout);
+  std::cout << "\nNote the keynote: the stale model mispredicts (large "
+               "D_KL) and the advantage shrinks or inverts — exactly the "
+               "2^(2H + 2 D_KL) cost Theorem 2.12 charges. Once "
+               "retrained, later sessions recover the win.\n";
+  return 0;
+}

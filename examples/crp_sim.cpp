@@ -1,0 +1,238 @@
+// crp_sim: command-line contention-resolution simulator.
+//
+// Runs any of the library's algorithms against a configurable size
+// distribution and prints summary statistics (optionally as CSV). This
+// is the "downstream user" entry point: plug in your own learned
+// distribution as a CSV file and compare algorithms without writing
+// C++.
+//
+// Usage:
+//   crp_sim [--n N] [--dist SPEC] [--algo SPEC] [--trials T]
+//           [--seed S] [--max-rounds R] [--csv]
+//
+//   --dist  uniform              uniform over sizes {2..n}   (default)
+//           point:K              all mass on size K
+//           zipf:S               Pr(k) ~ 1/k^S
+//           lognormal:MU,SIGMA   log-normal around e^MU
+//           file:PATH            "size,probability" CSV
+//   --algo  decay                Bar-Yehuda decay        (no CD)
+//           willard              Willard's search        (CD)
+//           fixed:K              transmit w.p. 1/K       (no CD)
+//           likelihood           Sec 2.5, prediction = the true dist
+//           likelihood-prop      Sec 2.5 with proportional cycling
+//           coded                Sec 2.6, prediction = the true dist
+//   (default: run ALL algorithms and print a comparison table)
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baselines/decay.h"
+#include "baselines/simple.h"
+#include "baselines/willard.h"
+#include "core/coded_search.h"
+#include "core/likelihood_schedule.h"
+#include "harness/csv.h"
+#include "harness/measure.h"
+#include "harness/table.h"
+#include "info/distribution.h"
+#include "predict/families.h"
+
+namespace {
+
+struct Options {
+  std::size_t n = 1 << 12;
+  std::string dist = "uniform";
+  std::string algo = "all";
+  std::size_t trials = 5000;
+  std::uint64_t seed = 1;
+  std::size_t max_rounds = 1 << 16;
+  bool csv = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "crp_sim: " << message << "\n"
+            << "try: crp_sim --n 4096 --dist lognormal:5.3,0.6 "
+               "--algo likelihood --trials 10000\n";
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--n") {
+      options.n = std::stoull(next());
+    } else if (arg == "--dist") {
+      options.dist = next();
+    } else if (arg == "--algo") {
+      options.algo = next();
+    } else if (arg == "--trials") {
+      options.trials = std::stoull(next());
+    } else if (arg == "--seed") {
+      options.seed = std::stoull(next());
+    } else if (arg == "--max-rounds") {
+      options.max_rounds = std::stoull(next());
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "see the header comment of examples/crp_sim.cpp\n";
+      std::exit(0);
+    } else {
+      usage_error("unknown argument " + arg);
+    }
+  }
+  if (options.n < 2) usage_error("--n must be >= 2");
+  return options;
+}
+
+/// Splits "name:args" into (name, args).
+std::pair<std::string, std::string> split_spec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) return {spec, ""};
+  return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+crp::info::SizeDistribution make_distribution(const Options& options) {
+  const auto [name, args] = split_spec(options.dist);
+  if (name == "uniform") {
+    return crp::info::SizeDistribution::uniform(options.n);
+  }
+  if (name == "point") {
+    return crp::info::SizeDistribution::point_mass(options.n,
+                                                   std::stoull(args));
+  }
+  if (name == "zipf") {
+    return crp::predict::zipf_sizes(options.n, std::stod(args));
+  }
+  if (name == "lognormal") {
+    const auto comma = args.find(',');
+    if (comma == std::string::npos) {
+      usage_error("lognormal needs MU,SIGMA");
+    }
+    return crp::predict::log_normal_sizes(
+        options.n, std::stod(args.substr(0, comma)),
+        std::stod(args.substr(comma + 1)));
+  }
+  if (name == "file") {
+    return crp::harness::read_size_distribution_csv_file(args, options.n);
+  }
+  usage_error("unknown distribution " + name);
+}
+
+struct AlgoResult {
+  std::string name;
+  std::string channel;
+  crp::harness::Measurement measurement;
+};
+
+std::vector<AlgoResult> run_algorithms(const Options& options,
+                                       const crp::info::SizeDistribution&
+                                           actual) {
+  const auto condensed = actual.condense();
+  std::vector<AlgoResult> results;
+  const auto want = [&](const std::string& name) {
+    return options.algo == "all" || split_spec(options.algo).first == name;
+  };
+
+  if (want("decay")) {
+    const crp::baselines::DecaySchedule schedule(options.n);
+    results.push_back({"decay", "no CD",
+                       crp::harness::measure_uniform_no_cd(
+                           schedule, actual, options.trials, options.seed,
+                           options.max_rounds)});
+  }
+  if (want("fixed")) {
+    const auto [_, args] = split_spec(options.algo);
+    const std::size_t k_hat =
+        args.empty() ? static_cast<std::size_t>(actual.mean())
+                     : std::stoull(args);
+    const auto schedule =
+        crp::baselines::FixedProbabilitySchedule::for_size_estimate(
+            std::max<std::size_t>(k_hat, 1));
+    results.push_back({"fixed 1/" + std::to_string(k_hat), "no CD",
+                       crp::harness::measure_uniform_no_cd(
+                           schedule, actual, options.trials, options.seed,
+                           options.max_rounds)});
+  }
+  if (want("likelihood")) {
+    const crp::core::LikelihoodOrderedSchedule schedule(condensed);
+    results.push_back({"likelihood-ordered", "no CD",
+                       crp::harness::measure_uniform_no_cd(
+                           schedule, actual, options.trials, options.seed,
+                           options.max_rounds)});
+  }
+  if (want("likelihood-prop")) {
+    const crp::core::LikelihoodOrderedSchedule schedule(
+        condensed, crp::core::CycleMode::kProportional);
+    results.push_back({"likelihood-proportional", "no CD",
+                       crp::harness::measure_uniform_no_cd(
+                           schedule, actual, options.trials, options.seed,
+                           options.max_rounds)});
+  }
+  if (want("willard")) {
+    const crp::baselines::WillardPolicy policy(options.n);
+    results.push_back({"willard", "CD",
+                       crp::harness::measure_uniform_cd(
+                           policy, actual, options.trials, options.seed,
+                           options.max_rounds)});
+  }
+  if (want("coded")) {
+    const crp::core::CodedSearchPolicy policy(condensed);
+    results.push_back({"coded-search", "CD",
+                       crp::harness::measure_uniform_cd(
+                           policy, actual, options.trials, options.seed,
+                           options.max_rounds)});
+  }
+  if (results.empty()) {
+    usage_error("unknown algorithm " + options.algo);
+  }
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_args(argc, argv);
+  const auto actual = make_distribution(options);
+  const auto condensed = actual.condense();
+  const auto results = run_algorithms(options, actual);
+
+  if (options.csv) {
+    auto header = crp::harness::CsvWriter::measurement_header();
+    header.insert(header.begin(), {"algorithm", "channel"});
+    crp::harness::CsvWriter writer(std::cout, header);
+    for (const auto& result : results) {
+      auto cells =
+          crp::harness::CsvWriter::measurement_cells(result.measurement);
+      cells.insert(cells.begin(), {result.name, result.channel});
+      writer.row(cells);
+    }
+    return 0;
+  }
+
+  std::cout << actual.describe() << "\n"
+            << "H(c(X)) = " << crp::harness::fmt(condensed.entropy(), 3)
+            << " bits over " << condensed.size() << " geometric ranges; "
+            << options.trials << " trials, seed " << options.seed
+            << "\n\n";
+  crp::harness::Table table({"algorithm", "channel", "mean", "ci95", "p50",
+                             "p90", "p99", "solved"});
+  for (const auto& result : results) {
+    const auto& m = result.measurement;
+    table.add_row({result.name, result.channel,
+                   crp::harness::fmt(m.rounds.mean, 2),
+                   crp::harness::fmt(m.rounds.ci95, 2),
+                   crp::harness::fmt(m.rounds.p50, 1),
+                   crp::harness::fmt(m.rounds.p90, 1),
+                   crp::harness::fmt(m.rounds.p99, 1),
+                   crp::harness::fmt(100.0 * m.success_rate, 1) + "%"});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include "baselines/decay.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "info/distribution.h"
+
+namespace crp::baselines {
+
+DecaySchedule::DecaySchedule(std::size_t n)
+    : sweep_length_(info::num_ranges(n) + 1) {}
+
+double DecaySchedule::probability(std::size_t round) const {
+  const std::size_t step = round % sweep_length_;
+  return std::exp2(-static_cast<double>(step));
+}
+
+ReverseDecaySchedule::ReverseDecaySchedule(std::size_t n)
+    : sweep_length_(info::num_ranges(n) + 1) {}
+
+double ReverseDecaySchedule::probability(std::size_t round) const {
+  const std::size_t step = round % sweep_length_;
+  return std::exp2(-static_cast<double>(sweep_length_ - 1 - step));
+}
+
+}  // namespace crp::baselines

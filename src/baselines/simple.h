@@ -1,0 +1,66 @@
+// Elementary comparators: the fixed-probability transmitter (optimal
+// O(1) given an accurate size estimate), round-robin linear probing
+// (the Theta(n) deterministic no-CD baseline), and binary tree descent
+// (the Theta(log n) deterministic CD baseline). The Section 3 advice
+// protocols in src/core generalize the latter two; these b = 0 forms
+// anchor the Table 2 sweeps.
+#pragma once
+
+#include <cstddef>
+
+#include "channel/protocol.h"
+
+namespace crp::baselines {
+
+/// Every participant transmits with probability 1/k_hat every round.
+/// If k_hat = Theta(k), succeeds in O(1) rounds in expectation — the
+/// best case the paper's introduction cites for perfect predictions.
+class FixedProbabilitySchedule final : public channel::ProbabilitySchedule {
+ public:
+  explicit FixedProbabilitySchedule(double probability);
+
+  /// Convenience: p = 1/k_hat for a size estimate k_hat >= 1.
+  static FixedProbabilitySchedule for_size_estimate(std::size_t k_hat);
+
+  double probability(std::size_t round) const override;
+  std::string name() const override { return "fixed-probability"; }
+
+ private:
+  double p_;
+};
+
+/// Deterministic no-CD baseline: player with id r transmits in round r
+/// (0-based), sweeping all n ids; the smallest active id transmits
+/// alone in its slot. Theta(n) rounds worst case. Ignores advice.
+class RoundRobinProtocol final : public channel::DeterministicProtocol {
+ public:
+  explicit RoundRobinProtocol(std::size_t n);
+
+  bool transmits(std::size_t player_id, const channel::BitString& advice,
+                 std::size_t round,
+                 std::span<const channel::Feedback> history) const override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  std::size_t n_;
+};
+
+/// Deterministic CD baseline: binary search over the id space [0, n).
+/// Each round the active players whose ids fall in the left half of the
+/// current candidate interval transmit; collision recurses left,
+/// silence recurses right. Theta(log n) rounds. Ignores advice.
+/// (This is the b = 0 case of core::TreeDescentCdProtocol.)
+class TreeDescentProtocol final : public channel::DeterministicProtocol {
+ public:
+  explicit TreeDescentProtocol(std::size_t n);
+
+  bool transmits(std::size_t player_id, const channel::BitString& advice,
+                 std::size_t round,
+                 std::span<const channel::Feedback> history) const override;
+  std::string name() const override { return "tree-descent"; }
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace crp::baselines

@@ -1,0 +1,50 @@
+#include "baselines/willard.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "info/distribution.h"
+
+namespace crp::baselines {
+
+WillardPolicy::WillardPolicy(std::size_t n, std::size_t repeats)
+    : num_ranges_(info::num_ranges(n)), repeats_(repeats) {
+  if (repeats_ == 0) throw std::invalid_argument("repeats must be >= 1");
+}
+
+double WillardPolicy::probability(
+    const channel::BitString& history) const {
+  // Replay the binary search deterministically from the history. The
+  // search runs over range indices [lo, hi]; each probe occupies
+  // `repeats_` rounds, after which a collision anywhere in the group
+  // means the size guess was too small (move right), and an all-silent
+  // group means too large (move left). An exhausted search restarts.
+  std::size_t lo = 1;
+  std::size_t hi = num_ranges_;
+  std::size_t group_bits = 0;
+  bool group_collision = false;
+  for (bool collided : history) {
+    group_collision = group_collision || collided;
+    if (++group_bits < repeats_) continue;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (group_collision) {
+      lo = mid + 1;
+    } else {
+      if (mid == 1) {
+        hi = 0;  // force restart; avoids size_t underflow
+      } else {
+        hi = mid - 1;
+      }
+    }
+    if (lo > hi || hi == 0 || hi > num_ranges_) {
+      lo = 1;
+      hi = num_ranges_;
+    }
+    group_bits = 0;
+    group_collision = false;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return std::exp2(-static_cast<double>(mid));
+}
+
+}  // namespace crp::baselines

@@ -1,0 +1,32 @@
+// Willard's log-logarithmic selection protocol [22] for channels with
+// collision detection: binary-search the ceil(log2 n) geometric
+// network-size guesses, transmitting with probability 2^-mid and using
+// collision (guess too small) vs silence (guess too large) to steer.
+// Solves contention resolution in O(log log n) expected rounds.
+#pragma once
+
+#include <cstddef>
+
+#include "channel/protocol.h"
+
+namespace crp::baselines {
+
+class WillardPolicy final : public channel::CollisionPolicy {
+ public:
+  /// `n` is the maximum possible network size (>= 2). `repeats` > 1
+  /// re-tries each probe that many rounds before acting on feedback
+  /// (collision in any repeat steers toward larger guesses), trading
+  /// rounds for a lower per-step error probability as in [22].
+  explicit WillardPolicy(std::size_t n, std::size_t repeats = 1);
+
+  double probability(const channel::BitString& history) const override;
+  std::string name() const override { return "willard"; }
+
+  std::size_t num_ranges() const { return num_ranges_; }
+
+ private:
+  std::size_t num_ranges_;
+  std::size_t repeats_;
+};
+
+}  // namespace crp::baselines

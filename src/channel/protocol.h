@@ -1,0 +1,81 @@
+// Protocol interfaces for the synchronous multiple-access channel model
+// of the paper (Section 1.1 / 2.1).
+//
+// Uniform algorithms -- the class all of Section 2 studies -- are either
+// a fixed probability schedule (no collision detection) or a map from
+// collision histories to probabilities (collision detection). Section 3
+// additionally studies deterministic algorithms whose behaviour depends
+// on player identity and on b bits of advice.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crp::channel {
+
+/// What the channel reports for one round.
+enum class Feedback {
+  kSilence,    ///< zero transmitters
+  kSuccess,    ///< exactly one transmitter: contention resolved
+  kCollision,  ///< two or more transmitters; message lost
+};
+
+/// Renders "silence" / "success" / "collision".
+std::string to_string(Feedback feedback);
+
+/// Advice strings and collision histories are raw bit vectors.
+using BitString = std::vector<bool>;
+
+/// A uniform algorithm for the no-collision-detection channel: a
+/// predetermined sequence p_1, p_2, ... where in round r every
+/// participant independently transmits with probability p_{r+1}
+/// (rounds are 0-based in code, 1-based in the paper).
+class ProbabilitySchedule {
+ public:
+  virtual ~ProbabilitySchedule() = default;
+
+  /// Transmission probability for 0-based round index; must be in [0, 1].
+  virtual double probability(std::size_t round) const = 0;
+
+  /// Diagnostic name, e.g. "decay" or "likelihood-ordered".
+  virtual std::string name() const = 0;
+};
+
+/// A uniform algorithm for the collision-detection channel: a function
+/// from the binary collision history (bit r = true iff round r had a
+/// collision; successes terminate the execution so never appear) to the
+/// probability every participant uses next round. This is exactly the
+/// binary-tree-of-probabilities view used by the Section 2.4 lower
+/// bound.
+class CollisionPolicy {
+ public:
+  virtual ~CollisionPolicy() = default;
+
+  /// Probability for the round following `history`; must be in [0, 1].
+  virtual double probability(const BitString& history) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// A deterministic algorithm (Section 3): each player decides from its
+/// identity, the shared advice string, the round number, and the
+/// feedback it has observed so far whether to transmit. On a channel
+/// without collision detection the observable history is all-silence
+/// until the execution ends, so implementations must not rely on it
+/// there (the simulator enforces this by passing kSilence entries).
+class DeterministicProtocol {
+ public:
+  virtual ~DeterministicProtocol() = default;
+
+  /// True iff player `player_id` transmits in 0-based `round`.
+  /// `history` holds per-round feedback for rounds [0, round).
+  virtual bool transmits(std::size_t player_id, const BitString& advice,
+                         std::size_t round,
+                         std::span<const Feedback> history) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace crp::channel

@@ -1,0 +1,126 @@
+#include "core/advice.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "info/distribution.h"
+
+namespace crp::core {
+
+channel::BitString high_bits(std::size_t value, std::size_t height,
+                             std::size_t bits) {
+  if (bits > height) throw std::invalid_argument("bits exceed tree height");
+  channel::BitString result(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    result[i] = ((value >> (height - 1 - i)) & 1u) != 0;
+  }
+  return result;
+}
+
+std::size_t bits_to_index(const channel::BitString& bits) {
+  std::size_t value = 0;
+  for (bool bit : bits) value = (value << 1) | (bit ? 1u : 0u);
+  return value;
+}
+
+std::size_t id_tree_height(std::size_t n) {
+  if (n < 2) return 1;
+  std::size_t height = 0;
+  std::size_t capacity = 1;
+  while (capacity < n) {
+    capacity *= 2;
+    ++height;
+  }
+  return height;
+}
+
+namespace {
+
+std::size_t min_participant(std::span<const std::size_t> participants) {
+  if (participants.empty()) {
+    throw std::invalid_argument("participant set must be non-empty");
+  }
+  return *std::min_element(participants.begin(), participants.end());
+}
+
+}  // namespace
+
+MinIdPrefixAdvice::MinIdPrefixAdvice(std::size_t n, std::size_t bits)
+    : height_(id_tree_height(n)), bits_(bits) {
+  if (bits_ > height_) {
+    throw std::invalid_argument("advice longer than the id tree height");
+  }
+}
+
+channel::BitString MinIdPrefixAdvice::advise(
+    std::span<const std::size_t> participants) const {
+  return high_bits(min_participant(participants), height_, bits_);
+}
+
+RangeGroupAdvice::RangeGroupAdvice(std::size_t n, std::size_t bits)
+    : num_ranges_(info::num_ranges(n)), bits_(bits) {
+  if ((std::size_t{1} << bits_) > num_ranges_) {
+    throw std::invalid_argument(
+        "2^b groups exceed the number of geometric ranges");
+  }
+}
+
+std::size_t RangeGroupAdvice::num_groups() const {
+  return std::size_t{1} << bits_;
+}
+
+std::size_t RangeGroupAdvice::group_of_range(std::size_t range) const {
+  if (range == 0 || range > num_ranges_) {
+    throw std::invalid_argument("range outside L(n)");
+  }
+  // Contiguous groups as equal as possible: the first `rem` groups have
+  // base + 1 ranges, the rest have `base`.
+  const std::size_t groups = num_groups();
+  const std::size_t base = num_ranges_ / groups;
+  const std::size_t rem = num_ranges_ % groups;
+  const std::size_t idx = range - 1;  // 0-based position
+  const std::size_t boundary = rem * (base + 1);
+  if (idx < boundary) return idx / (base + 1);
+  return rem + (idx - boundary) / base;
+}
+
+std::vector<std::size_t> RangeGroupAdvice::ranges_in_group(
+    std::size_t group) const {
+  const std::size_t groups = num_groups();
+  if (group >= groups) throw std::invalid_argument("group out of bounds");
+  const std::size_t base = num_ranges_ / groups;
+  const std::size_t rem = num_ranges_ % groups;
+  std::size_t start = 0;
+  if (group < rem) {
+    start = group * (base + 1);
+  } else {
+    start = rem * (base + 1) + (group - rem) * base;
+  }
+  const std::size_t count = group < rem ? base + 1 : base;
+  std::vector<std::size_t> ranges(count);
+  for (std::size_t i = 0; i < count; ++i) ranges[i] = start + i + 1;
+  return ranges;
+}
+
+channel::BitString RangeGroupAdvice::advise(
+    std::span<const std::size_t> participants) const {
+  const std::size_t k = participants.size();
+  if (k < 2) {
+    throw std::invalid_argument("range advice needs >= 2 participants");
+  }
+  const std::size_t group = group_of_range(info::range_of_size(k));
+  channel::BitString result(bits_);
+  for (std::size_t i = 0; i < bits_; ++i) {
+    result[i] = ((group >> (bits_ - 1 - i)) & 1u) != 0;
+  }
+  return result;
+}
+
+FullIdAdvice::FullIdAdvice(std::size_t n) : height_(id_tree_height(n)) {}
+
+channel::BitString FullIdAdvice::advise(
+    std::span<const std::size_t> participants) const {
+  return high_bits(min_participant(participants), height_, height_);
+}
+
+}  // namespace crp::core

@@ -1,0 +1,99 @@
+// The perfect-advice model of Section 3: an advice function f_A with
+// perfect knowledge of the participant set P hands the same b bits to
+// every participant before round 1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "channel/protocol.h"
+
+namespace crp::core {
+
+/// An advice function f_A : P(V) -> {0,1}^b.
+class AdviceFunction {
+ public:
+  virtual ~AdviceFunction() = default;
+
+  /// Computes the advice for participant set `participants` (player
+  /// ids, need not be sorted; must be non-empty).
+  virtual channel::BitString advise(
+      std::span<const std::size_t> participants) const = 0;
+
+  /// Advice size b in bits (every advise() result has this length).
+  virtual std::size_t bits() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Utility: the `bits` most significant bits of `value` within an
+/// id space of `height` bits, as a BitString (MSB first).
+channel::BitString high_bits(std::size_t value, std::size_t height,
+                             std::size_t bits);
+
+/// Utility: decodes a BitString (MSB first) back to an integer.
+std::size_t bits_to_index(const channel::BitString& bits);
+
+/// Height of the balanced id tree for a network of n ids: ceil(log2 n),
+/// at least 1.
+std::size_t id_tree_height(std::size_t n);
+
+/// Advice = the first b steps of the root-to-leaf traversal toward the
+/// smallest active participant in the balanced id tree (equivalently
+/// the b high bits of its id). Drives both deterministic protocols of
+/// Section 3.2.
+class MinIdPrefixAdvice final : public AdviceFunction {
+ public:
+  MinIdPrefixAdvice(std::size_t n, std::size_t bits);
+
+  channel::BitString advise(
+      std::span<const std::size_t> participants) const override;
+  std::size_t bits() const override { return bits_; }
+  std::string name() const override { return "min-id-prefix"; }
+
+ private:
+  std::size_t height_;
+  std::size_t bits_;
+};
+
+/// Advice = which of the 2^b contiguous groups of geometric ranges
+/// contains the true range ceil(log2 |P|). Drives both randomized
+/// protocols of Section 3.3 (truncated decay / truncated Willard).
+class RangeGroupAdvice final : public AdviceFunction {
+ public:
+  RangeGroupAdvice(std::size_t n, std::size_t bits);
+
+  channel::BitString advise(
+      std::span<const std::size_t> participants) const override;
+  std::size_t bits() const override { return bits_; }
+  std::string name() const override { return "range-group"; }
+
+  /// Number of groups 2^b and the group (0-based) containing range i.
+  std::size_t num_groups() const;
+  std::size_t group_of_range(std::size_t range) const;
+  /// The 1-based ranges inside group g, ascending.
+  std::vector<std::size_t> ranges_in_group(std::size_t group) const;
+
+ private:
+  std::size_t num_ranges_;
+  std::size_t bits_;
+};
+
+/// Advice = the full id of the smallest active participant, b = tree
+/// height; enables the trivial 1-round solution (upper extreme of the
+/// Table 2 sweeps).
+class FullIdAdvice final : public AdviceFunction {
+ public:
+  explicit FullIdAdvice(std::size_t n);
+
+  channel::BitString advise(
+      std::span<const std::size_t> participants) const override;
+  std::size_t bits() const override { return height_; }
+  std::string name() const override { return "full-id"; }
+
+ private:
+  std::size_t height_;
+};
+
+}  // namespace crp::core

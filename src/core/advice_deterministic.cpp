@@ -1,0 +1,100 @@
+#include "core/advice_deterministic.h"
+
+#include <stdexcept>
+
+#include "core/advice.h"
+
+namespace crp::core {
+
+namespace {
+
+struct Interval {
+  std::size_t lo = 0;
+  std::size_t hi = 0;  // exclusive
+};
+
+/// The id interval covered by the advised subtree. The id space is the
+/// padded [0, 2^height); ids >= n are simply never active.
+Interval subtree_interval(const channel::BitString& advice,
+                          std::size_t height) {
+  const std::size_t prefix = bits_to_index(advice);
+  const std::size_t width = std::size_t{1} << (height - advice.size());
+  return Interval{prefix * width, (prefix + 1) * width};
+}
+
+}  // namespace
+
+SubtreeScanProtocol::SubtreeScanProtocol(std::size_t n,
+                                         std::size_t advice_bits)
+    : n_(n), height_(id_tree_height(n)), advice_bits_(advice_bits) {
+  if (n_ < 2) throw std::invalid_argument("network size must be >= 2");
+  if (advice_bits_ > height_) {
+    throw std::invalid_argument("advice longer than the id tree height");
+  }
+}
+
+std::size_t SubtreeScanProtocol::subtree_size() const {
+  return std::size_t{1} << (height_ - advice_bits_);
+}
+
+bool SubtreeScanProtocol::transmits(
+    std::size_t player_id, const channel::BitString& advice,
+    std::size_t round, std::span<const channel::Feedback> /*history*/) const {
+  if (advice.size() != advice_bits_) {
+    throw std::invalid_argument("advice has the wrong length");
+  }
+  const Interval subtree = subtree_interval(advice, height_);
+  const std::size_t size = subtree.hi - subtree.lo;
+  if (round < size) {
+    return player_id == subtree.lo + round;
+  }
+  // Fallback sweep over all ids (only reachable with malformed advice).
+  return player_id == (round - size) % n_;
+}
+
+TreeDescentCdProtocol::TreeDescentCdProtocol(std::size_t n,
+                                             std::size_t advice_bits)
+    : n_(n), height_(id_tree_height(n)), advice_bits_(advice_bits) {
+  if (n_ < 2) throw std::invalid_argument("network size must be >= 2");
+  if (advice_bits_ > height_) {
+    throw std::invalid_argument("advice longer than the id tree height");
+  }
+}
+
+std::size_t TreeDescentCdProtocol::max_rounds() const {
+  return height_ - advice_bits_ + 1;
+}
+
+bool TreeDescentCdProtocol::transmits(
+    std::size_t player_id, const channel::BitString& advice,
+    std::size_t /*round*/,
+    std::span<const channel::Feedback> history) const {
+  if (advice.size() != advice_bits_) {
+    throw std::invalid_argument("advice has the wrong length");
+  }
+  const Interval root = subtree_interval(advice, height_);
+  std::size_t lo = root.lo;
+  std::size_t hi = root.hi;
+  for (channel::Feedback feedback : history) {
+    if (hi - lo == 1) {
+      // Unreachable with valid advice (a size-1 probe always succeeds).
+      // With faulty advice the target may sit outside the advised
+      // subtree, so escalate to a descent over the full id space
+      // rather than looping inside the wrong subtree forever.
+      lo = 0;
+      hi = std::size_t{1} << height_;
+      continue;
+    }
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feedback == channel::Feedback::kCollision) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  if (hi - lo == 1) return player_id == lo;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return player_id >= lo && player_id < mid;
+}
+
+}  // namespace crp::core

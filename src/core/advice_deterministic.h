@@ -1,0 +1,67 @@
+// Deterministic advice-augmented protocols (Section 3.2).
+//
+// Both view the n player ids as leaves of a balanced binary tree and
+// receive as advice the first b steps of the traversal toward an
+// active participant (MinIdPrefixAdvice):
+//  * no collision detection: sweep the n/2^b leaves of the advised
+//    subtree one per round -> Theta(n^{1-alpha}) rounds for
+//    b = alpha log n, matching Theorem 3.4's lower bound within
+//    constant factors;
+//  * collision detection: finish the remaining log(n) - b steps of the
+//    traversal with collision votes -> log n - b + 1 rounds, matching
+//    Theorem 3.5.
+#pragma once
+
+#include <cstddef>
+
+#include "channel/protocol.h"
+
+namespace crp::core {
+
+/// No-collision-detection deterministic protocol: with advice prefix a
+/// of length b, round r belongs to the (r+1)-th id of the subtree
+/// rooted at a; a player transmits iff that id is its own. The smallest
+/// active id in the subtree transmits alone in its slot. If the sweep
+/// ends without success (malformed advice), it wraps to a full id
+/// sweep for robustness.
+class SubtreeScanProtocol final : public channel::DeterministicProtocol {
+ public:
+  SubtreeScanProtocol(std::size_t n, std::size_t advice_bits);
+
+  bool transmits(std::size_t player_id, const channel::BitString& advice,
+                 std::size_t round,
+                 std::span<const channel::Feedback> history) const override;
+  std::string name() const override { return "subtree-scan"; }
+
+  /// Worst-case rounds before the advised subtree is exhausted.
+  std::size_t subtree_size() const;
+
+ private:
+  std::size_t n_;
+  std::size_t height_;
+  std::size_t advice_bits_;
+};
+
+/// Collision-detection deterministic protocol: the advice narrows the
+/// candidate id interval to the advised subtree; the players then
+/// binary-search it with collision votes exactly like the classical
+/// b = 0 strategy (baselines::TreeDescentProtocol).
+class TreeDescentCdProtocol final : public channel::DeterministicProtocol {
+ public:
+  TreeDescentCdProtocol(std::size_t n, std::size_t advice_bits);
+
+  bool transmits(std::size_t player_id, const channel::BitString& advice,
+                 std::size_t round,
+                 std::span<const channel::Feedback> history) const override;
+  std::string name() const override { return "tree-descent+advice"; }
+
+  /// Worst-case rounds: remaining tree height + 1.
+  std::size_t max_rounds() const;
+
+ private:
+  std::size_t n_;
+  std::size_t height_;
+  std::size_t advice_bits_;
+};
+
+}  // namespace crp::core

@@ -1,0 +1,68 @@
+#include "core/advice_randomized.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace crp::core {
+
+TruncatedDecaySchedule::TruncatedDecaySchedule(
+    std::vector<std::size_t> ranges, std::vector<std::size_t> fallback)
+    : ranges_(std::move(ranges)), fallback_(std::move(fallback)) {
+  if (ranges_.empty()) {
+    throw std::invalid_argument("advised group must be non-empty");
+  }
+  period_ = 3 * ranges_.size() + fallback_.size();
+}
+
+std::size_t TruncatedDecaySchedule::range_for_round(
+    std::size_t round) const {
+  if (fallback_.empty()) return ranges_[round % ranges_.size()];
+  const std::size_t pos = round % period_;
+  const std::size_t group_part = 3 * ranges_.size();
+  if (pos < group_part) return ranges_[pos % ranges_.size()];
+  return fallback_[pos - group_part];
+}
+
+double TruncatedDecaySchedule::probability(std::size_t round) const {
+  return std::exp2(-static_cast<double>(range_for_round(round)));
+}
+
+TruncatedWillardPolicy::TruncatedWillardPolicy(
+    std::vector<std::size_t> ranges, std::vector<std::size_t> fallback)
+    : ranges_(std::move(ranges)), fallback_(std::move(fallback)) {
+  if (ranges_.empty()) {
+    throw std::invalid_argument("advised group must be non-empty");
+  }
+}
+
+double TruncatedWillardPolicy::probability(
+    const channel::BitString& history) const {
+  // Binary search over indices into the active range set, replayed from
+  // the collision history (collision: size guess too small, move to
+  // larger ranges; silence: too large). When a search exhausts its
+  // window a new attempt begins; with a fallback configured, every
+  // fourth attempt searches the fallback set instead of the group.
+  const std::vector<std::size_t>* active = &ranges_;
+  std::size_t attempt = 0;
+  std::size_t lo = 0;
+  std::size_t hi = active->size();  // window [lo, hi)
+  for (bool collided : history) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (collided) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+    if (lo >= hi) {
+      ++attempt;
+      const bool use_fallback = !fallback_.empty() && attempt % 4 == 3;
+      active = use_fallback ? &fallback_ : &ranges_;
+      lo = 0;
+      hi = active->size();
+    }
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return std::exp2(-static_cast<double>((*active)[mid]));
+}
+
+}  // namespace crp::core

@@ -1,0 +1,104 @@
+#include "core/coded_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "info/huffman.h"
+
+namespace crp::core {
+
+CodedSearchPolicy::CodedSearchPolicy(
+    const info::CondensedDistribution& prediction, CodeBackend backend) {
+  const auto& q = prediction.probabilities();
+  std::vector<std::size_t> lengths;
+  switch (backend) {
+    case CodeBackend::kHuffman:
+      lengths = info::huffman_lengths(q);
+      break;
+    case CodeBackend::kShannonFano: {
+      const info::PrefixCode code = info::shannon_fano_code(q);
+      lengths.reserve(q.size());
+      for (std::size_t s = 0; s < q.size(); ++s) {
+        lengths.push_back(code.length(s));
+      }
+      break;
+    }
+  }
+  // Group 1-based ranges by codeword length, shortest class first;
+  // ranges inside a class are sorted ascending (std::map iteration and
+  // insertion order give both properties).
+  std::map<std::size_t, std::vector<std::size_t>> by_length;
+  for (std::size_t j = 0; j < lengths.size(); ++j) {
+    by_length[lengths[j]].push_back(j + 1);
+  }
+  for (auto& [len, ranges] : by_length) {
+    lengths_.push_back(len);
+    double mass = 0.0;
+    for (std::size_t r : ranges) mass += prediction.prob(r);
+    positive_mass_.push_back(mass > 0.0);
+    classes_.push_back(std::move(ranges));
+  }
+}
+
+std::size_t CodedSearchPolicy::pass_length() const {
+  std::size_t total = 0;
+  for (const auto& cls : classes_) {
+    std::size_t probes = 1;
+    std::size_t span = cls.size();
+    while (span > 1) {
+      span = (span + 1) / 2;
+      ++probes;
+    }
+    total += probes;
+  }
+  return total;
+}
+
+std::size_t CodedSearchPolicy::current_range(
+    const channel::BitString& history) const {
+  // Replay: binary-search state inside the current class, advancing to
+  // the next class when a search exhausts its window; wrap around after
+  // the last class so repeated attempts are well-defined. Classes whose
+  // ranges carry no predicted mass exist only to keep the algorithm
+  // correct when the prediction is infinitely diverged from reality, so
+  // they are visited on every fourth pass only (pass 0 included):
+  // low-entropy predictions keep an O(1)-per-pass revisit rate on their
+  // likely classes, while a true range the predictor gave zero mass is
+  // still searched infinitely often.
+  std::size_t cls = 0;
+  std::size_t lo = 0;
+  std::size_t hi = classes_[0].size();  // window is [lo, hi)
+  std::size_t pass = 0;
+  const auto advance_class = [&] {
+    do {
+      if (cls + 1 == classes_.size()) {
+        cls = 0;
+        ++pass;
+      } else {
+        ++cls;
+      }
+    } while (pass % 4 != 0 && !positive_mass_[cls]);
+    lo = 0;
+    hi = classes_[cls].size();
+  };
+  for (bool collided : history) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (collided) {
+      lo = mid + 1;  // probe range too small for k: move to larger ranges
+    } else {
+      hi = mid;  // silence: size guess too large
+    }
+    if (lo >= hi) advance_class();
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return classes_[cls][mid];
+}
+
+double CodedSearchPolicy::probability(
+    const channel::BitString& history) const {
+  return std::exp2(-static_cast<double>(current_range(history)));
+}
+
+}  // namespace crp::core

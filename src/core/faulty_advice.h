@@ -1,0 +1,35 @@
+// Faulty advice: the algorithms-with-predictions literature the paper
+// builds on (Section 1.3) insists algorithms stay robust "when the
+// advice is faulty". This wrapper corrupts any advice oracle by
+// flipping each bit independently with a fixed probability, letting the
+// Table 2 protocols be measured under degraded advisors. Corruption is
+// a deterministic hash of (participant set, seed), so measurements are
+// replayable and the oracle interface stays pure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/advice.h"
+
+namespace crp::core {
+
+class FaultyAdvice final : public AdviceFunction {
+ public:
+  /// Flips each advice bit with probability `flip_probability` in
+  /// [0, 1]; randomness is derived from `seed` and the participant set.
+  FaultyAdvice(std::shared_ptr<const AdviceFunction> inner,
+               double flip_probability, std::uint64_t seed);
+
+  channel::BitString advise(
+      std::span<const std::size_t> participants) const override;
+  std::size_t bits() const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const AdviceFunction> inner_;
+  double flip_probability_;
+  std::uint64_t seed_;
+};
+
+}  // namespace crp::core

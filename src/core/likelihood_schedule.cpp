@@ -1,0 +1,74 @@
+#include "core/likelihood_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crp::core {
+
+namespace {
+
+/// Builds a low-discrepancy repeating pass in which range i occupies a
+/// share of slots proportional to max(1 slot, q_i * pass). Uses stride
+/// scheduling: each slot goes to the range with the smallest virtual
+/// finish time (c_i + 1) / w_i, so likely ranges recur evenly rather
+/// than in bursts.
+std::vector<std::size_t> proportional_pass(
+    const info::CondensedDistribution& prediction) {
+  const std::size_t num_ranges = prediction.size();
+  const std::size_t pass = 4 * num_ranges;
+  std::vector<double> weights(num_ranges);
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < num_ranges; ++j) {
+    const double share = prediction.probabilities()[j] *
+                         static_cast<double>(pass);
+    weights[j] = std::max(1.0, std::round(share));
+    total += static_cast<std::size_t>(weights[j]);
+  }
+  std::vector<double> counts(num_ranges, 0.0);
+  std::vector<std::size_t> schedule;
+  schedule.reserve(total);
+  for (std::size_t slot = 0; slot < total; ++slot) {
+    std::size_t best = 0;
+    double best_time = (counts[0] + 1.0) / weights[0];
+    for (std::size_t j = 1; j < num_ranges; ++j) {
+      const double time = (counts[j] + 1.0) / weights[j];
+      if (time < best_time) {
+        best = j;
+        best_time = time;
+      }
+    }
+    counts[best] += 1.0;
+    schedule.push_back(best + 1);  // ranges are 1-based
+  }
+  return schedule;
+}
+
+}  // namespace
+
+LikelihoodOrderedSchedule::LikelihoodOrderedSchedule(
+    const info::CondensedDistribution& prediction, CycleMode mode)
+    : ordering_(prediction.ranges_by_likelihood()) {
+  switch (mode) {
+    case CycleMode::kRepeatPass:
+      schedule_ = ordering_;
+      break;
+    case CycleMode::kProportional:
+      schedule_ = proportional_pass(prediction);
+      break;
+  }
+  if (schedule_.empty()) {
+    throw std::invalid_argument("empty prediction alphabet");
+  }
+}
+
+double LikelihoodOrderedSchedule::probability(std::size_t round) const {
+  return std::exp2(-static_cast<double>(range_for_round(round)));
+}
+
+std::size_t LikelihoodOrderedSchedule::range_for_round(
+    std::size_t round) const {
+  return schedule_[round % schedule_.size()];
+}
+
+}  // namespace crp::core

@@ -1,0 +1,60 @@
+// The Section 2.5 prediction-augmented algorithm for channels WITHOUT
+// collision detection.
+//
+// Given a predicted network-size distribution Y, order the geometric
+// ranges L(n) by non-increasing probability under the condensed
+// prediction c(Y) and transmit with probability 2^-pi_i in the i-th
+// round. Theorem 2.12: with probability >= 1/16 this succeeds within
+// O(2^T) rounds, T = 2 H(c(X)) + 2 D_KL(c(X) || c(Y)); with an accurate
+// prediction (Y = X) this is O(2^{2 H(c(X))}) (Corollary 2.15).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "channel/protocol.h"
+#include "info/distribution.h"
+
+namespace crp::core {
+
+/// How the schedule continues after its first pass over all ranges.
+/// The paper analyses the one-shot pass; for expected-time measurements
+/// the pass must repeat, and the paper (footnote 6) notes a cleverer
+/// cycling is possible — both are provided.
+enum class CycleMode {
+  /// Repeat the likelihood-ordered pass verbatim, forever.
+  kRepeatPass,
+  /// Proportional cycling: range i is scheduled with frequency
+  /// proportional to its predicted probability (Kraft-style schedule
+  /// built from the optimal code lengths for c(Y)), so likely ranges
+  /// recur geometrically more often. This is the "cycle through these
+  /// probabilities in a clever manner" extension the paper sketches.
+  kProportional,
+};
+
+class LikelihoodOrderedSchedule final : public channel::ProbabilitySchedule {
+ public:
+  /// `prediction` is c(Y); ties in likelihood are broken toward smaller
+  /// ranges, making the schedule a deterministic function of Y.
+  explicit LikelihoodOrderedSchedule(
+      const info::CondensedDistribution& prediction,
+      CycleMode mode = CycleMode::kRepeatPass);
+
+  double probability(std::size_t round) const override;
+  std::string name() const override { return "likelihood-ordered"; }
+
+  /// The likelihood ordering pi (1-based range indices).
+  const std::vector<std::size_t>& ordering() const { return ordering_; }
+
+  /// Rounds in one full pass (= |L(n)| for kRepeatPass).
+  std::size_t pass_length() const { return schedule_.size(); }
+
+  /// The range probed in 0-based round `round`.
+  std::size_t range_for_round(std::size_t round) const;
+
+ private:
+  std::vector<std::size_t> ordering_;  // likelihood order (first pass)
+  std::vector<std::size_t> schedule_;  // one repeating pass of ranges
+};
+
+}  // namespace crp::core

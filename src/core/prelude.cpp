@@ -1,0 +1,42 @@
+#include "core/prelude.h"
+
+#include <stdexcept>
+
+namespace crp::core {
+
+WithAllTransmitPrelude::WithAllTransmitPrelude(
+    std::shared_ptr<const channel::ProbabilitySchedule> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("inner schedule is null");
+}
+
+double WithAllTransmitPrelude::probability(std::size_t round) const {
+  if (round == 0) return 1.0;
+  return inner_->probability(round - 1);
+}
+
+std::string WithAllTransmitPrelude::name() const {
+  return inner_->name() + "+prelude";
+}
+
+WithAllTransmitPreludeCd::WithAllTransmitPreludeCd(
+    std::shared_ptr<const channel::CollisionPolicy> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("inner policy is null");
+}
+
+double WithAllTransmitPreludeCd::probability(
+    const channel::BitString& history) const {
+  if (history.empty()) return 1.0;
+  // Strip the probe's feedback bit; with k >= 2 it is always a
+  // collision, carrying no information the inner policy needs.
+  const channel::BitString inner_history(history.begin() + 1,
+                                         history.end());
+  return inner_->probability(inner_history);
+}
+
+std::string WithAllTransmitPreludeCd::name() const {
+  return inner_->name() + "+prelude";
+}
+
+}  // namespace crp::core

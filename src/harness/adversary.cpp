@@ -1,0 +1,80 @@
+#include "harness/adversary.h"
+
+#include <stdexcept>
+
+#include "channel/simulator.h"
+
+namespace crp::harness {
+
+namespace {
+
+/// Calls `visit` with every k-subset of {0..n-1} (lexicographic).
+template <typename Visitor>
+void for_each_subset(std::size_t n, std::size_t k, Visitor&& visit) {
+  std::vector<std::size_t> subset(k);
+  for (std::size_t i = 0; i < k; ++i) subset[i] = i;
+  while (true) {
+    visit(subset);
+    // Advance to the next combination.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (subset[i] < n - k + i) {
+        ++subset[i];
+        for (std::size_t j = i + 1; j < k; ++j) {
+          subset[j] = subset[j - 1] + 1;
+        }
+        break;
+      }
+      if (i == 0) return;
+    }
+    if (k == 0) return;
+  }
+}
+
+}  // namespace
+
+ExactWorstCase exact_worst_case(const channel::DeterministicProtocol& protocol,
+                                const core::AdviceFunction& advice,
+                                std::size_t n, std::size_t k,
+                                bool collision_detection,
+                                std::size_t max_rounds) {
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("need 1 <= k <= n participants");
+  }
+  ExactWorstCase worst;
+  for_each_subset(n, k, [&](const std::vector<std::size_t>& subset) {
+    ++worst.sets_checked;
+    const auto bits = advice.advise(subset);
+    const auto result = channel::run_deterministic(
+        protocol, bits, subset, collision_detection,
+        {.max_rounds = max_rounds});
+    worst.all_solved = worst.all_solved && result.solved;
+    const std::size_t cost = result.solved ? result.rounds : max_rounds;
+    if (cost > worst.rounds) {
+      worst.rounds = cost;
+      worst.witness = subset;
+    }
+  });
+  return worst;
+}
+
+ExactWorstCase exact_worst_case_all_sizes(
+    const channel::DeterministicProtocol& protocol,
+    const core::AdviceFunction& advice, std::size_t n, std::size_t max_k,
+    bool collision_detection, std::size_t max_rounds) {
+  ExactWorstCase worst;
+  for (std::size_t k = 1; k <= max_k && k <= n; ++k) {
+    const auto at_k = exact_worst_case(protocol, advice, n, k,
+                                       collision_detection, max_rounds);
+    worst.sets_checked += at_k.sets_checked;
+    worst.all_solved = worst.all_solved && at_k.all_solved;
+    if (at_k.rounds > worst.rounds) {
+      worst.rounds = at_k.rounds;
+      worst.witness = at_k.witness;
+    }
+  }
+  return worst;
+}
+
+}  // namespace crp::harness

@@ -1,0 +1,135 @@
+#include "harness/csv.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/table.h"
+
+namespace crp::harness {
+
+namespace {
+
+/// Splits "a,b" into trimmed fields.
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) {
+    const auto first = field.find_first_not_of(" \t\r");
+    const auto last = field.find_last_not_of(" \t\r");
+    fields.push_back(first == std::string::npos
+                         ? std::string{}
+                         : field.substr(first, last - first + 1));
+  }
+  return fields;
+}
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+info::SizeDistribution read_size_distribution_csv(std::istream& in,
+                                                  std::size_t n) {
+  if (n < 2) throw std::invalid_argument("network size must be >= 2");
+  std::vector<double> probs(n + 1, 0.0);
+  double total = 0.0;
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_data = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_csv_line(line);
+    if (fields.size() != 2) {
+      throw std::invalid_argument("line " + std::to_string(line_number) +
+                                  ": expected \"size,probability\"");
+    }
+    if (!looks_numeric(fields[0]) || !looks_numeric(fields[1])) {
+      if (!saw_data) continue;  // tolerate a single header row
+      throw std::invalid_argument("line " + std::to_string(line_number) +
+                                  ": non-numeric row after data");
+    }
+    const double size_value = std::stod(fields[0]);
+    const double prob = std::stod(fields[1]);
+    if (size_value < 2.0 || size_value > static_cast<double>(n) ||
+        size_value != std::floor(size_value)) {
+      throw std::invalid_argument("line " + std::to_string(line_number) +
+                                  ": size must be an integer in [2, n]");
+    }
+    if (prob < 0.0) {
+      throw std::invalid_argument("line " + std::to_string(line_number) +
+                                  ": negative probability");
+    }
+    probs[static_cast<std::size_t>(size_value)] += prob;
+    total += prob;
+    saw_data = true;
+  }
+  if (!saw_data || total <= 0.0) {
+    throw std::invalid_argument("no positive-probability rows found");
+  }
+  for (double& p : probs) p /= total;
+  return info::SizeDistribution(std::move(probs));
+}
+
+info::SizeDistribution read_size_distribution_csv_file(
+    const std::string& path, std::size_t n) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open distribution file: " + path);
+  }
+  return read_size_distribution_csv(in, n);
+}
+
+void write_size_distribution_csv(std::ostream& out,
+                                 const info::SizeDistribution& dist) {
+  out << "size,probability\n";
+  for (std::size_t k = 2; k <= dist.n(); ++k) {
+    if (dist.prob(k) > 0.0) {
+      out << k << ',' << dist.prob(k) << '\n';
+    }
+  }
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  if (header.empty()) {
+    throw std::invalid_argument("CSV needs at least one column");
+  }
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c > 0) out_ << ',';
+    out_ << header[c];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("row width does not match header");
+  }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c > 0) out_ << ',';
+    out_ << cells[c];
+  }
+  out_ << '\n';
+}
+
+std::vector<std::string> CsvWriter::measurement_header() {
+  return {"mean", "ci95", "p50", "p90", "p99", "success_rate"};
+}
+
+std::vector<std::string> CsvWriter::measurement_cells(
+    const Measurement& m) {
+  return {fmt(m.rounds.mean, 4), fmt(m.rounds.ci95, 4),
+          fmt(m.rounds.p50, 1),  fmt(m.rounds.p90, 1),
+          fmt(m.rounds.p99, 1),  fmt(m.success_rate, 4)};
+}
+
+}  // namespace crp::harness

@@ -1,0 +1,52 @@
+// CSV import/export: load learned size distributions produced by an
+// external model, and export measurement sweeps for plotting. Formats:
+//
+//   distribution CSV:  header optional, rows "size,probability"
+//                      (sizes in [2, n]; probabilities renormalized)
+//   measurement CSV:   one header row then one row per sweep point.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/measure.h"
+#include "info/distribution.h"
+
+namespace crp::harness {
+
+/// Parses a distribution from "size,probability" rows. `n` is the
+/// maximum network size; rows must satisfy 2 <= size <= n. Lines that
+/// are empty, start with '#', or form a non-numeric header are skipped.
+/// Probabilities are renormalized to sum to 1.
+/// Throws std::invalid_argument on malformed rows.
+info::SizeDistribution read_size_distribution_csv(std::istream& in,
+                                                  std::size_t n);
+
+/// Convenience: reads from a file path.
+info::SizeDistribution read_size_distribution_csv_file(
+    const std::string& path, std::size_t n);
+
+/// Writes "size,probability" rows (only positive-probability sizes).
+void write_size_distribution_csv(std::ostream& out,
+                                 const info::SizeDistribution& dist);
+
+/// A row-oriented CSV writer for sweep results.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Appends one row; must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: a measurement summary as columns
+  /// mean,ci95,p50,p90,p99,success_rate.
+  static std::vector<std::string> measurement_cells(const Measurement& m);
+  static std::vector<std::string> measurement_header();
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+};
+
+}  // namespace crp::harness

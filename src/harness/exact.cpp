@@ -1,0 +1,131 @@
+#include "harness/exact.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace crp::harness {
+
+double success_probability(std::size_t k, double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("probability outside [0, 1]");
+  }
+  if (k == 0 || p == 0.0) return 0.0;
+  if (p == 1.0) return k == 1 ? 1.0 : 0.0;
+  // k p (1-p)^{k-1}, computed in log space for large k.
+  const double log_value = std::log(static_cast<double>(k)) + std::log(p) +
+                           static_cast<double>(k - 1) * std::log1p(-p);
+  return std::exp(log_value);
+}
+
+RoundOutcomeProbabilities round_outcome_probabilities(std::size_t k,
+                                                      double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("probability outside [0, 1]");
+  }
+  RoundOutcomeProbabilities out;
+  if (k == 0 || p == 0.0) {
+    out.silence = 1.0;
+    return out;
+  }
+  out.silence =
+      p == 1.0 ? 0.0
+               : std::exp(static_cast<double>(k) * std::log1p(-p));
+  out.success = success_probability(k, p);
+  out.collision = std::max(0.0, 1.0 - out.silence - out.success);
+  return out;
+}
+
+ExactProfile exact_profile_no_cd(const channel::ProbabilitySchedule& schedule,
+                                 std::size_t k, std::size_t horizon) {
+  ExactProfile profile;
+  profile.solve_by.assign(horizon + 1, 0.0);
+  double alive = 1.0;       // Pr(not solved before round r)
+  double expectation = 0.0;
+  for (std::size_t r = 0; r < horizon; ++r) {
+    const double s = success_probability(k, schedule.probability(r));
+    const double solve_here = alive * s;
+    expectation += solve_here * static_cast<double>(r + 1);
+    alive *= (1.0 - s);
+    profile.solve_by[r + 1] = 1.0 - alive;
+  }
+  profile.tail_mass = alive;
+  profile.truncated_expectation =
+      expectation + alive * static_cast<double>(horizon + 1);
+  return profile;
+}
+
+double exact_expected_rounds_no_cd(
+    const channel::ProbabilitySchedule& schedule, std::size_t k,
+    double tail_bound, std::size_t max_horizon) {
+  double alive = 1.0;
+  double expectation = 0.0;
+  for (std::size_t r = 0; r < max_horizon; ++r) {
+    const double s = success_probability(k, schedule.probability(r));
+    expectation += alive * s * static_cast<double>(r + 1);
+    alive *= (1.0 - s);
+    if (alive < tail_bound) return expectation / (1.0 - alive);
+  }
+  throw std::runtime_error(
+      "tail mass did not fall below the bound within max_horizon; "
+      "the schedule may be unable to solve this participant count");
+}
+
+ExactProfile exact_profile_cd(const channel::CollisionPolicy& policy,
+                              std::size_t k, std::size_t horizon,
+                              double prune_below) {
+  ExactProfile profile;
+  profile.solve_by.assign(horizon + 1, 0.0);
+  double expectation = 0.0;
+  double solved_mass = 0.0;
+  double pruned_mass = 0.0;
+
+  // Depth-first enumeration of the history tree. Each node carries the
+  // probability of reaching it; children follow silence (bit 0) and
+  // collision (bit 1); success terminates the branch.
+  struct Frame {
+    channel::BitString history;
+    double reach;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({{}, 1.0});
+  std::vector<double> solve_at(horizon, 0.0);  // mass solving in round r
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const std::size_t round = frame.history.size();
+    if (round >= horizon) continue;  // contributes to tail via solved sum
+    if (frame.reach < prune_below) {
+      pruned_mass += frame.reach;
+      continue;
+    }
+    const double p = policy.probability(frame.history);
+    const auto outcome = round_outcome_probabilities(k, p);
+    solve_at[round] += frame.reach * outcome.success;
+    if (outcome.silence > 0.0) {
+      Frame child;
+      child.history = frame.history;
+      child.history.push_back(false);
+      child.reach = frame.reach * outcome.silence;
+      stack.push_back(std::move(child));
+    }
+    if (outcome.collision > 0.0) {
+      Frame child;
+      child.history = std::move(frame.history);
+      child.history.push_back(true);
+      child.reach = frame.reach * outcome.collision;
+      stack.push_back(std::move(child));
+    }
+  }
+  for (std::size_t r = 0; r < horizon; ++r) {
+    solved_mass += solve_at[r];
+    expectation += solve_at[r] * static_cast<double>(r + 1);
+    profile.solve_by[r + 1] = solved_mass;
+  }
+  profile.tail_mass = std::max(0.0, 1.0 - solved_mass);
+  profile.truncated_expectation =
+      expectation + profile.tail_mass * static_cast<double>(horizon + 1);
+  (void)pruned_mass;  // included in tail_mass by construction
+  return profile;
+}
+
+}  // namespace crp::harness

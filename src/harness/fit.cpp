@@ -1,0 +1,123 @@
+#include "harness/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace crp::harness {
+
+namespace {
+
+void check_inputs(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("x and y must have equal length");
+  }
+  if (x.size() < 2) {
+    throw std::invalid_argument("need at least two points");
+  }
+}
+
+double mean_of(std::span<const double> v) {
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+std::vector<double> ranks_of(std::span<const double> v) {
+  std::vector<std::size_t> order(v.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(v.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) +
+                             static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t t = i; t <= j; ++t) ranks[order[t]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+OriginFit fit_through_origin(std::span<const double> x,
+                             std::span<const double> y) {
+  check_inputs(x, y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  if (sxx == 0.0) throw std::invalid_argument("x is identically zero");
+  OriginFit fit;
+  fit.slope = sxy / sxx;
+  const double y_mean = mean_of(y);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - fit.slope * x[i];
+    ss_res += r * r;
+    const double d = y[i] - y_mean;
+    ss_tot += d * d;
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  check_inputs(x, y);
+  const double x_mean = mean_of(x);
+  const double y_mean = mean_of(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - x_mean) * (x[i] - x_mean);
+    sxy += (x[i] - x_mean) * (y[i] - y_mean);
+  }
+  if (sxx == 0.0) throw std::invalid_argument("x has zero variance");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = y_mean - fit.slope * x_mean;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - (fit.slope * x[i] + fit.intercept);
+    ss_res += r * r;
+    const double d = y[i] - y_mean;
+    ss_tot += d * d;
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  check_inputs(x, y);
+  const double x_mean = mean_of(x);
+  const double y_mean = mean_of(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - x_mean) * (y[i] - y_mean);
+    sxx += (x[i] - x_mean) * (x[i] - x_mean);
+    syy += (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    throw std::invalid_argument("inputs have zero variance");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  check_inputs(x, y);
+  const auto rx = ranks_of(x);
+  const auto ry = ranks_of(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace crp::harness

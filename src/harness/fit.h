@@ -1,0 +1,36 @@
+// Scaling-law diagnostics: the reproduction does not chase the paper's
+// absolute constants (there are none), it checks *shapes*. These
+// helpers quantify how well measured round counts track a candidate
+// bound shape (2^{2H}, H^2, log n / 2^b, ...).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace crp::harness {
+
+/// Least-squares slope of y = a * x through the origin, plus the R^2 of
+/// that restricted model.
+struct OriginFit {
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+OriginFit fit_through_origin(std::span<const double> x,
+                             std::span<const double> y);
+
+/// Ordinary least squares y = a x + b with R^2.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Pearson correlation coefficient.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (monotonicity check robust to the exact
+/// functional form).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace crp::harness

@@ -1,0 +1,155 @@
+#include "harness/measure.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "channel/rng.h"
+
+namespace crp::harness {
+
+double Measurement::solved_within(double budget) const {
+  if (trials == 0) return 0.0;
+  const auto solved = static_cast<double>(
+      std::count_if(samples.begin(), samples.end(),
+                    [budget](double r) { return r <= budget; }));
+  return solved / static_cast<double>(trials);
+}
+
+Measurement measure(const Trial& trial, std::size_t trials,
+                    std::uint64_t seed) {
+  Measurement result;
+  result.trials = trials;
+  result.samples.reserve(trials);
+  std::size_t solved = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    auto rng = channel::derive_rng(seed, t);
+    const channel::RunResult run = trial(t, rng);
+    if (run.solved) {
+      ++solved;
+      result.samples.push_back(static_cast<double>(run.rounds));
+    }
+  }
+  result.success_rate =
+      trials == 0 ? 0.0
+                  : static_cast<double>(solved) / static_cast<double>(trials);
+  result.rounds = summarize(result.samples);
+  return result;
+}
+
+Measurement measure_uniform_no_cd(const channel::ProbabilitySchedule& schedule,
+                                  const info::SizeDistribution& actual,
+                                  std::size_t trials, std::uint64_t seed,
+                                  std::size_t max_rounds) {
+  return measure(
+      [&](std::size_t, std::mt19937_64& rng) {
+        const std::size_t k = actual.sample(rng);
+        return channel::run_uniform_no_cd(schedule, k, rng,
+                                          {.max_rounds = max_rounds});
+      },
+      trials, seed);
+}
+
+Measurement measure_uniform_cd(const channel::CollisionPolicy& policy,
+                               const info::SizeDistribution& actual,
+                               std::size_t trials, std::uint64_t seed,
+                               std::size_t max_rounds) {
+  return measure(
+      [&](std::size_t, std::mt19937_64& rng) {
+        const std::size_t k = actual.sample(rng);
+        return channel::run_uniform_cd(policy, k, rng,
+                                       {.max_rounds = max_rounds});
+      },
+      trials, seed);
+}
+
+Measurement measure_uniform_no_cd_fixed_k(
+    const channel::ProbabilitySchedule& schedule, std::size_t k,
+    std::size_t trials, std::uint64_t seed, std::size_t max_rounds) {
+  return measure(
+      [&](std::size_t, std::mt19937_64& rng) {
+        return channel::run_uniform_no_cd(schedule, k, rng,
+                                          {.max_rounds = max_rounds});
+      },
+      trials, seed);
+}
+
+Measurement measure_uniform_cd_fixed_k(const channel::CollisionPolicy& policy,
+                                       std::size_t k, std::size_t trials,
+                                       std::uint64_t seed,
+                                       std::size_t max_rounds) {
+  return measure(
+      [&](std::size_t, std::mt19937_64& rng) {
+        return channel::run_uniform_cd(policy, k, rng,
+                                       {.max_rounds = max_rounds});
+      },
+      trials, seed);
+}
+
+std::vector<std::size_t> random_participant_set(std::size_t n, std::size_t k,
+                                                std::mt19937_64& rng) {
+  if (k > n) throw std::invalid_argument("cannot pick k > n participants");
+  // Partial Fisher-Yates over the id space.
+  std::vector<std::size_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(i, n - 1);
+    std::swap(ids[i], ids[pick(rng)]);
+  }
+  ids.resize(k);
+  return ids;
+}
+
+Measurement measure_deterministic_advice(
+    const channel::DeterministicProtocol& protocol,
+    const core::AdviceFunction& advice, const info::SizeDistribution& actual,
+    std::size_t n, bool collision_detection, std::size_t trials,
+    std::uint64_t seed, std::size_t max_rounds) {
+  return measure(
+      [&](std::size_t, std::mt19937_64& rng) {
+        const std::size_t k = actual.sample(rng);
+        const auto participants = random_participant_set(n, k, rng);
+        const auto bits = advice.advise(participants);
+        return channel::run_deterministic(protocol, bits, participants,
+                                          collision_detection,
+                                          {.max_rounds = max_rounds});
+      },
+      trials, seed);
+}
+
+double worst_case_deterministic_rounds(
+    const channel::DeterministicProtocol& protocol,
+    const core::AdviceFunction& advice, std::size_t n, std::size_t k,
+    bool collision_detection, std::size_t probes, std::uint64_t seed,
+    std::size_t max_rounds) {
+  if (k > n) throw std::invalid_argument("cannot pick k > n participants");
+  double worst = 0.0;
+  const auto run_set = [&](const std::vector<std::size_t>& participants) {
+    const auto bits = advice.advise(participants);
+    const auto result = channel::run_deterministic(
+        protocol, bits, participants, collision_detection,
+        {.max_rounds = max_rounds});
+    worst = std::max(
+        worst, result.solved ? static_cast<double>(result.rounds)
+                             : static_cast<double>(max_rounds));
+  };
+
+  // Random probes.
+  for (std::size_t p = 0; p < probes; ++p) {
+    auto rng = channel::derive_rng(seed, p);
+    run_set(random_participant_set(n, k, rng));
+  }
+  // Crafted adversarial probes. "Tail": consecutive ids ending at the
+  // highest id, which puts the minimum active id as deep as possible
+  // into whatever subtree the advice names (worst for linear scans).
+  // "Head": the first k ids, whose shared prefixes force a collision at
+  // every level of a collision-detector descent (worst for tree
+  // protocols).
+  std::vector<std::size_t> crafted(k);
+  for (std::size_t i = 0; i < k; ++i) crafted[i] = n - k + i;
+  run_set(crafted);
+  for (std::size_t i = 0; i < k; ++i) crafted[i] = i;
+  run_set(crafted);
+  return worst;
+}
+
+}  // namespace crp::harness

@@ -1,0 +1,88 @@
+// Monte-Carlo measurement of contention-resolution round complexity.
+// Every experiment is a function (trial index, rng) -> RunResult; the
+// helpers below wire the common cases: a uniform algorithm against a
+// network-size distribution, and an advice protocol against sampled
+// participant sets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "channel/protocol.h"
+#include "channel/simulator.h"
+#include "core/advice.h"
+#include "harness/stats.h"
+#include "info/distribution.h"
+
+namespace crp::harness {
+
+/// Aggregated outcome of a batch of trials.
+struct Measurement {
+  SummaryStats rounds;        ///< over *solved* trials
+  double success_rate = 0.0;  ///< fraction solved within the budget
+  std::size_t trials = 0;
+
+  /// Fraction of trials solved within `budget` rounds (one-shot success
+  /// probability at that budget), computed from the raw samples.
+  double solved_within(double budget) const;
+
+  std::vector<double> samples;  ///< rounds of solved trials
+};
+
+using Trial = std::function<channel::RunResult(std::size_t trial_index,
+                                               std::mt19937_64& rng)>;
+
+/// Runs `trials` independent trials, deriving one RNG stream per trial
+/// from `seed` (replayable regardless of execution order).
+Measurement measure(const Trial& trial, std::size_t trials,
+                    std::uint64_t seed);
+
+/// Uniform no-CD algorithm vs. sizes drawn from `actual`.
+Measurement measure_uniform_no_cd(const channel::ProbabilitySchedule& schedule,
+                                  const info::SizeDistribution& actual,
+                                  std::size_t trials, std::uint64_t seed,
+                                  std::size_t max_rounds = 1 << 20);
+
+/// Uniform CD algorithm vs. sizes drawn from `actual`.
+Measurement measure_uniform_cd(const channel::CollisionPolicy& policy,
+                               const info::SizeDistribution& actual,
+                               std::size_t trials, std::uint64_t seed,
+                               std::size_t max_rounds = 1 << 20);
+
+/// Uniform no-CD algorithm with the participant count fixed to k.
+Measurement measure_uniform_no_cd_fixed_k(
+    const channel::ProbabilitySchedule& schedule, std::size_t k,
+    std::size_t trials, std::uint64_t seed, std::size_t max_rounds = 1 << 20);
+
+/// Uniform CD algorithm with the participant count fixed to k.
+Measurement measure_uniform_cd_fixed_k(const channel::CollisionPolicy& policy,
+                                       std::size_t k, std::size_t trials,
+                                       std::uint64_t seed,
+                                       std::size_t max_rounds = 1 << 20);
+
+/// Draws a uniformly random k-subset of {0, ..., n-1}.
+std::vector<std::size_t> random_participant_set(std::size_t n, std::size_t k,
+                                                std::mt19937_64& rng);
+
+/// Deterministic advice protocol: per trial, draw k from `actual`, draw
+/// a random participant set of that size, compute advice, run.
+Measurement measure_deterministic_advice(
+    const channel::DeterministicProtocol& protocol,
+    const core::AdviceFunction& advice, const info::SizeDistribution& actual,
+    std::size_t n, bool collision_detection, std::size_t trials,
+    std::uint64_t seed, std::size_t max_rounds = 1 << 20);
+
+/// Worst-case (maximum over participant sets) round count of a
+/// deterministic advice protocol at fixed k, approximated by `probes`
+/// random sets plus the adversarial set concentrated at the tail of the
+/// advised subtree.
+double worst_case_deterministic_rounds(
+    const channel::DeterministicProtocol& protocol,
+    const core::AdviceFunction& advice, std::size_t n, std::size_t k,
+    bool collision_detection, std::size_t probes, std::uint64_t seed,
+    std::size_t max_rounds = 1 << 20);
+
+}  // namespace crp::harness

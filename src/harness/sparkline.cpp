@@ -1,0 +1,27 @@
+#include "harness/sparkline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crp::harness {
+
+std::string sparkline(std::span<const double> values, std::size_t width) {
+  static constexpr char kLevels[] = " .:-=+*#%@";
+  constexpr std::size_t kNumLevels = sizeof(kLevels) - 2;  // index 0..9
+  if (values.empty() || width == 0) return "";
+  const std::size_t points = std::min(width, values.size());
+  std::string out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Sample the value at the end of this stride window.
+    const std::size_t index =
+        ((i + 1) * values.size()) / points - 1;
+    const double clamped = std::clamp(values[index], 0.0, 1.0);
+    const auto level = static_cast<std::size_t>(
+        std::llround(clamped * static_cast<double>(kNumLevels)));
+    out.push_back(kLevels[level]);
+  }
+  return out;
+}
+
+}  // namespace crp::harness

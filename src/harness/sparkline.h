@@ -1,0 +1,17 @@
+// Tiny ASCII rendering of success profiles (CDF curves) so the benches
+// can show curve *shapes* — the thing this reproduction is about —
+// directly in terminal output.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace crp::harness {
+
+/// Renders values in [0, 1] as an ASCII bar strip, e.g. " .:-=+*#%@".
+/// Values are clamped; width characters are consumed evenly across the
+/// input (striding when the input is longer than `width`).
+std::string sparkline(std::span<const double> values,
+                      std::size_t width = 60);
+
+}  // namespace crp::harness

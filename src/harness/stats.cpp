@@ -1,0 +1,62 @@
+#include "harness/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace crp::harness {
+
+double percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("percentile q must lie in [0, 1]");
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(position));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(position));
+  const double frac = position - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+SummaryStats summarize(std::span<const double> samples) {
+  SummaryStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) return stats;
+
+  double sum = 0.0;
+  stats.min = samples[0];
+  stats.max = samples[0];
+  for (double x : samples) {
+    sum += x;
+    stats.min = std::min(stats.min, x);
+    stats.max = std::max(stats.max, x);
+  }
+  stats.mean = sum / static_cast<double>(stats.count);
+
+  double ss = 0.0;
+  for (double x : samples) {
+    const double d = x - stats.mean;
+    ss += d * d;
+  }
+  if (stats.count > 1) {
+    stats.stddev = std::sqrt(ss / static_cast<double>(stats.count - 1));
+    stats.ci95 =
+        1.96 * stats.stddev / std::sqrt(static_cast<double>(stats.count));
+  }
+  stats.p50 = percentile(samples, 0.50);
+  stats.p90 = percentile(samples, 0.90);
+  stats.p99 = percentile(samples, 0.99);
+  return stats;
+}
+
+std::string SummaryStats::describe() const {
+  std::ostringstream out;
+  out << "mean=" << mean << " +/- " << ci95 << " (p50=" << p50
+      << ", p90=" << p90 << ", max=" << max << ", n=" << count << ")";
+  return out.str();
+}
+
+}  // namespace crp::harness

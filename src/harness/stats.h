@@ -1,0 +1,31 @@
+// Summary statistics for Monte-Carlo round-complexity measurements.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crp::harness {
+
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   ///< sample standard deviation
+  double ci95 = 0.0;     ///< 1.96 * stddev / sqrt(count)
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  std::string describe() const;
+};
+
+/// Computes summary statistics over `samples` (empty input -> zeros).
+SummaryStats summarize(std::span<const double> samples);
+
+/// Linear interpolation percentile (q in [0, 1]) of a sorted copy.
+double percentile(std::span<const double> samples, double q);
+
+}  // namespace crp::harness

@@ -1,0 +1,36 @@
+// A tiny ASCII table renderer used by the reproduction benches to print
+// the paper-style rows (Table 1, Table 2, divergence sweeps).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crp::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a separator line under the header; columns are padded
+  /// to their widest cell and separated by two spaces.
+  void print(std::ostream& out) const;
+
+  std::size_t columns() const { return header_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` significant decimals.
+std::string fmt(double value, int precision = 2);
+
+/// Formats a size_t.
+std::string fmt(std::size_t value);
+
+}  // namespace crp::harness

@@ -1,0 +1,142 @@
+#include "info/code.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace crp::info {
+
+PrefixCode::PrefixCode(std::vector<Codeword> words)
+    : words_(std::move(words)) {
+  if (words_.empty()) {
+    throw std::invalid_argument("code needs a non-empty alphabet");
+  }
+}
+
+const Codeword& PrefixCode::word(std::size_t symbol) const {
+  if (symbol >= words_.size()) {
+    throw std::out_of_range("symbol outside code alphabet");
+  }
+  return words_[symbol];
+}
+
+std::size_t PrefixCode::length(std::size_t symbol) const {
+  return word(symbol).size();
+}
+
+bool PrefixCode::is_prefix_free() const {
+  // Sort codewords; a prefix relation must appear between lexicographic
+  // neighbours, so one adjacent pass suffices.
+  std::vector<const Codeword*> sorted;
+  sorted.reserve(words_.size());
+  for (const auto& w : words_) sorted.push_back(&w);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Codeword* a, const Codeword* b) { return *a < *b; });
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    const Codeword& a = *sorted[i];
+    const Codeword& b = *sorted[i + 1];
+    if (a.size() <= b.size() &&
+        std::equal(a.begin(), a.end(), b.begin())) {
+      return false;  // includes duplicate codewords (a == prefix of b)
+    }
+  }
+  return true;
+}
+
+double PrefixCode::kraft_sum() const {
+  double sum = 0.0;
+  for (const auto& w : words_) {
+    sum += std::exp2(-static_cast<double>(w.size()));
+  }
+  return sum;
+}
+
+double PrefixCode::expected_length(std::span<const double> probs) const {
+  if (probs.size() != words_.size()) {
+    throw std::invalid_argument("probability vector / alphabet mismatch");
+  }
+  double expected = 0.0;
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    expected += probs[s] * static_cast<double>(words_[s].size());
+  }
+  return expected;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> PrefixCode::decode_prefix(
+    const std::vector<bool>& bits) const {
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    const Codeword& w = words_[s];
+    if (w.size() <= bits.size() &&
+        std::equal(w.begin(), w.end(), bits.begin())) {
+      return std::make_pair(s, w.size());
+    }
+  }
+  return std::nullopt;
+}
+
+std::string PrefixCode::describe() const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    if (s > 0) out << ", ";
+    out << s << ": ";
+    if (words_[s].empty()) out << "<empty>";
+    for (bool bit : words_[s]) out << (bit ? '1' : '0');
+  }
+  out << "}";
+  return out.str();
+}
+
+PrefixCode canonical_code_from_lengths(
+    std::span<const std::size_t> lengths) {
+  if (lengths.empty()) {
+    throw std::invalid_argument("code needs a non-empty alphabet");
+  }
+  double kraft = 0.0;
+  for (std::size_t len : lengths) {
+    kraft += std::exp2(-static_cast<double>(len));
+  }
+  if (kraft > 1.0 + 1e-9) {
+    throw std::invalid_argument("lengths violate the Kraft inequality");
+  }
+
+  // Assign codewords in order of (length, symbol), incrementing a
+  // binary counter and left-shifting when the length grows.
+  std::vector<std::size_t> order(lengths.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return lengths[a] < lengths[b];
+                   });
+
+  std::vector<Codeword> words(lengths.size());
+  std::uint64_t next = 0;
+  std::size_t current_len = lengths[order.front()];
+  for (std::size_t idx : order) {
+    const std::size_t len = lengths[idx];
+    if (len > 63) throw std::invalid_argument("codeword length > 63");
+    next <<= (len - current_len);
+    current_len = len;
+    Codeword w(len);
+    for (std::size_t b = 0; b < len; ++b) {
+      w[b] = ((next >> (len - 1 - b)) & 1u) != 0;
+    }
+    words[idx] = std::move(w);
+    ++next;
+  }
+  return PrefixCode(std::move(words));
+}
+
+PrefixCode fixed_length_code(std::size_t alphabet_size) {
+  if (alphabet_size == 0) {
+    throw std::invalid_argument("code needs a non-empty alphabet");
+  }
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < alphabet_size) ++bits;
+  std::vector<std::size_t> lengths(alphabet_size, bits);
+  return canonical_code_from_lengths(lengths);
+}
+
+}  // namespace crp::info

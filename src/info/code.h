@@ -1,0 +1,66 @@
+// Binary prefix codes over a finite alphabet, plus the validators and
+// functionals (expected length, Kraft sum) used by the paper's coding
+// arguments (Theorems 2.2 and 2.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crp::info {
+
+/// A binary codeword, most-significant bit first.
+using Codeword = std::vector<bool>;
+
+/// A (prefix) code mapping each symbol of a finite alphabet to a binary
+/// codeword. Symbols are 0-based indices into `words`.
+class PrefixCode {
+ public:
+  /// Wraps codewords; does not validate prefix-freeness (call
+  /// `is_prefix_free` explicitly — some constructions, like the raw
+  /// target-distance codes from the lower-bound proofs, are only
+  /// uniquely decodable rather than prefix-free).
+  explicit PrefixCode(std::vector<Codeword> words);
+
+  std::size_t alphabet_size() const { return words_.size(); }
+  const Codeword& word(std::size_t symbol) const;
+  const std::vector<Codeword>& words() const { return words_; }
+  std::size_t length(std::size_t symbol) const;
+
+  /// True if no codeword is a prefix of another (distinct symbols).
+  bool is_prefix_free() const;
+
+  /// Kraft sum: sum over symbols of 2^-len. <= 1 for every uniquely
+  /// decodable code (Kraft-McMillan); == 1 for complete codes.
+  double kraft_sum() const;
+
+  /// Expected codeword length E[S] when symbols are drawn with
+  /// probabilities `probs` (same alphabet, 0-based).
+  double expected_length(std::span<const double> probs) const;
+
+  /// Decodes a prefix of `bits` back to a symbol; returns the symbol
+  /// and number of bits consumed, or nullopt if no codeword matches.
+  /// Only meaningful for prefix-free codes.
+  std::optional<std::pair<std::size_t, std::size_t>> decode_prefix(
+      const std::vector<bool>& bits) const;
+
+  /// Renders e.g. "{0: 0, 1: 10, 2: 11}".
+  std::string describe() const;
+
+ private:
+  std::vector<Codeword> words_;
+};
+
+/// Builds the canonical prefix code for the given codeword lengths
+/// (Kraft-satisfying). Throws if the lengths violate the Kraft
+/// inequality. Symbols with shorter lengths get lexicographically
+/// smaller codewords; ties broken by symbol order.
+PrefixCode canonical_code_from_lengths(std::span<const std::size_t> lengths);
+
+/// Fixed-length code: every symbol gets ceil(log2 |alphabet|) bits
+/// (at least 1). The trivial baseline the paper's advice bounds quote.
+PrefixCode fixed_length_code(std::size_t alphabet_size);
+
+}  // namespace crp::info

@@ -1,0 +1,40 @@
+#include "info/coding_theorems.h"
+
+#include <cmath>
+
+#include "info/entropy.h"
+
+namespace crp::info {
+
+namespace {
+constexpr double kSlack = 1e-9;
+}
+
+CodingCheck check_source_coding(const PrefixCode& code,
+                                std::span<const double> source) {
+  CodingCheck result;
+  result.entropy = shannon_entropy(source);
+  result.divergence = 0.0;
+  result.expected_length = code.expected_length(source);
+  result.lower_bound_holds =
+      result.expected_length + kSlack >= result.entropy;
+  result.upper_bound_holds =
+      result.expected_length <= result.entropy + 1.0 + kSlack;
+  return result;
+}
+
+CodingCheck check_mismatched_coding(const PrefixCode& code,
+                                    std::span<const double> eval_source,
+                                    std::span<const double> design_source) {
+  CodingCheck result;
+  result.entropy = shannon_entropy(eval_source);
+  result.divergence = kl_divergence(eval_source, design_source);
+  result.expected_length = code.expected_length(eval_source);
+  const double bound = result.entropy + result.divergence;
+  result.lower_bound_holds =
+      std::isinf(bound) || result.expected_length + kSlack >= bound;
+  result.upper_bound_holds = result.expected_length <= bound + 1.0 + kSlack;
+  return result;
+}
+
+}  // namespace crp::info

@@ -1,0 +1,35 @@
+// Executable forms of the coding-theory facts the paper builds on:
+// Shannon's Source Coding Theorem (Theorem 2.2) and the mismatched-
+// source bound H(X) + D_KL(X||Y) <= E[S] <= H(X) + D_KL(X||Y) + 1
+// (Theorem 2.3). The benches and property tests use these to validate
+// the machinery behind the lower bounds.
+#pragma once
+
+#include <span>
+
+#include "info/code.h"
+
+namespace crp::info {
+
+/// Result of checking a code against a source.
+struct CodingCheck {
+  double entropy = 0.0;          ///< H of the evaluation source
+  double divergence = 0.0;       ///< D_KL(source || design source), 0 if same
+  double expected_length = 0.0;  ///< E[S] of the code under the source
+  bool lower_bound_holds = false;  ///< H + D <= E[S] (Thm 2.2 / 2.3 lower)
+  bool upper_bound_holds = false;  ///< E[S] <= H + D + 1 (Thm 2.3 upper; only
+                                   ///< guaranteed for optimal codes)
+};
+
+/// Checks Theorem 2.2 for `code` against `source` (design == evaluation
+/// source, divergence = 0).
+CodingCheck check_source_coding(const PrefixCode& code,
+                                std::span<const double> source);
+
+/// Checks Theorem 2.3: `code` was built as an (optimal) code for
+/// `design_source`, but symbols are drawn from `eval_source`.
+CodingCheck check_mismatched_coding(const PrefixCode& code,
+                                    std::span<const double> eval_source,
+                                    std::span<const double> design_source);
+
+}  // namespace crp::info

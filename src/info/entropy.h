@@ -1,0 +1,24 @@
+// Entropy and divergence functionals on raw probability vectors.
+// All quantities are in bits (log base 2), matching the paper.
+#pragma once
+
+#include <span>
+
+namespace crp::info {
+
+/// Shannon entropy H(p) = -sum p_i log2 p_i. Zero-probability entries
+/// contribute nothing (0 log 0 := 0). Does not require p to sum to 1 —
+/// callers that pass unnormalized vectors get the corresponding sum.
+double shannon_entropy(std::span<const double> p);
+
+/// Kullback-Leibler divergence D_KL(p || q) = sum p_i log2(p_i / q_i).
+/// Returns +infinity when some p_i > 0 has q_i = 0. Requires equal sizes.
+double kl_divergence(std::span<const double> p, std::span<const double> q);
+
+/// Cross entropy H(p, q) = H(p) + D_KL(p || q) = -sum p_i log2 q_i.
+double cross_entropy(std::span<const double> p, std::span<const double> q);
+
+/// Binary entropy h(x) = -x log2 x - (1-x) log2 (1-x) for x in [0, 1].
+double binary_entropy(double x);
+
+}  // namespace crp::info

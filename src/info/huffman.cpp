@@ -1,0 +1,111 @@
+#include "info/huffman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace crp::info {
+
+namespace {
+
+struct Node {
+  double weight = 0.0;
+  std::size_t tiebreak = 0;  // creation order: makes merges deterministic
+  int symbol = -1;           // >= 0 for leaves
+  int left = -1;
+  int right = -1;
+};
+
+void assign_depths(const std::vector<Node>& nodes, int root,
+                   std::size_t depth, std::vector<std::size_t>& lengths) {
+  const Node& node = nodes[static_cast<std::size_t>(root)];
+  if (node.symbol >= 0) {
+    lengths[static_cast<std::size_t>(node.symbol)] =
+        std::max<std::size_t>(depth, 1);  // single-symbol alphabet -> "0"
+    return;
+  }
+  assign_depths(nodes, node.left, depth + 1, lengths);
+  assign_depths(nodes, node.right, depth + 1, lengths);
+}
+
+}  // namespace
+
+std::vector<std::size_t> huffman_lengths(std::span<const double> probs) {
+  if (probs.empty()) {
+    throw std::invalid_argument("huffman: empty alphabet");
+  }
+  for (double p : probs) {
+    if (!(p >= 0.0) || !std::isfinite(p)) {
+      throw std::invalid_argument("huffman: probabilities must be >= 0");
+    }
+  }
+
+  std::vector<Node> nodes;
+  nodes.reserve(2 * probs.size());
+  using Entry = std::pair<double, std::size_t>;  // (weight, node index)
+  const auto greater = [&nodes](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return nodes[a.second].tiebreak > nodes[b.second].tiebreak;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(greater)> queue(
+      greater);
+
+  for (std::size_t s = 0; s < probs.size(); ++s) {
+    nodes.push_back(Node{probs[s], nodes.size(), static_cast<int>(s)});
+    queue.push({probs[s], nodes.size() - 1});
+  }
+  while (queue.size() > 1) {
+    const auto [wa, a] = queue.top();
+    queue.pop();
+    const auto [wb, b] = queue.top();
+    queue.pop();
+    nodes.push_back(Node{wa + wb, nodes.size(), -1, static_cast<int>(a),
+                         static_cast<int>(b)});
+    queue.push({wa + wb, nodes.size() - 1});
+  }
+
+  std::vector<std::size_t> lengths(probs.size(), 0);
+  assign_depths(nodes, static_cast<int>(queue.top().second), 0, lengths);
+  return lengths;
+}
+
+PrefixCode huffman_code(std::span<const double> probs) {
+  return canonical_code_from_lengths(huffman_lengths(probs));
+}
+
+PrefixCode shannon_fano_code(std::span<const double> probs) {
+  if (probs.empty()) {
+    throw std::invalid_argument("shannon-fano: empty alphabet");
+  }
+  std::vector<std::size_t> lengths(probs.size(), 0);
+  std::size_t longest = 1;
+  std::size_t zeros = 0;
+  for (std::size_t s = 0; s < probs.size(); ++s) {
+    if (probs[s] > 0.0) {
+      lengths[s] = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(-std::log2(probs[s]))));
+      longest = std::max(longest, lengths[s]);
+    } else {
+      ++zeros;
+    }
+  }
+  if (zeros > 0) {
+    // The plain Shannon-Fano lengths already may fill the Kraft budget
+    // (equality for dyadic sources), so stretch every positive-mass
+    // codeword by one bit (halving their Kraft sum to <= 1/2) and park
+    // the zero-probability symbols in the freed half of the tree.
+    std::size_t pad_bits = 1;
+    while ((std::size_t{1} << pad_bits) < zeros) ++pad_bits;
+    for (std::size_t s = 0; s < probs.size(); ++s) {
+      if (probs[s] > 0.0) ++lengths[s];
+    }
+    const std::size_t zero_len = std::max(longest + 2, pad_bits + 1);
+    for (std::size_t s = 0; s < probs.size(); ++s) {
+      if (probs[s] <= 0.0) lengths[s] = zero_len;
+    }
+  }
+  return canonical_code_from_lengths(lengths);
+}
+
+}  // namespace crp::info

@@ -1,0 +1,33 @@
+// Optimal and near-optimal prefix code construction. The paper's
+// Section 2.5 / 2.6 algorithms build an optimal uniquely decodable code
+// f for the predicted source c(Y); Huffman coding realizes exactly that
+// optimum, so it is the code the library uses by default. Shannon-Fano
+// is provided as the ablation comparator (within 1 bit of optimal).
+#pragma once
+
+#include <span>
+
+#include "info/code.h"
+
+namespace crp::info {
+
+/// Builds a Huffman code for the given symbol probabilities. Symbols
+/// with zero probability still receive valid codewords (they end up
+/// deepest in the tree), so downstream search algorithms can always
+/// enumerate the full alphabet. Deterministic: ties in the priority
+/// queue are broken by construction order, so identical inputs yield
+/// identical codes across runs and platforms.
+///
+/// Single-symbol alphabets get the 1-bit codeword "0".
+PrefixCode huffman_code(std::span<const double> probs);
+
+/// Codeword lengths only (useful when the caller needs the code-length
+/// classes of Section 2.6 but not the words themselves).
+std::vector<std::size_t> huffman_lengths(std::span<const double> probs);
+
+/// Shannon-Fano code: symbol s gets length ceil(-log2 p_s) (capped for
+/// zero-probability symbols), realized canonically. Satisfies
+/// H(p) <= E[len] < H(p) + 1, the bound Theorem 2.3 quotes.
+PrefixCode shannon_fano_code(std::span<const double> probs);
+
+}  // namespace crp::info

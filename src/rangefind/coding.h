@@ -1,0 +1,83 @@
+// The "target-distance" codes the lower-bound proofs build from range
+// finding solutions (Lemmas 2.5 and 2.9): to send symbol x from L(n),
+// transmit the step/path at which the range finding strategy first
+// gets within the allowed radius of x, plus the signed residual
+// distance. Decoding replays the shared strategy. Their expected code
+// length upper-bounds work through the Source Coding Theorem into the
+// paper's entropy lower bounds, and the tests verify exactly that
+// chain: decode(encode(x)) == x and E[len] >= H(targets).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "info/distribution.h"
+#include "rangefind/sequence.h"
+#include "rangefind/tree.h"
+
+namespace crp::rangefind {
+
+/// Elias gamma code for positive integers: 2 floor(log2 v) + 1 bits.
+/// The sequence code uses it for the step index r, realising the
+/// "log r" term of Lemma 2.5's code-length bound.
+std::vector<bool> elias_gamma_encode(std::size_t value);
+
+/// Decodes an Elias gamma prefix; returns (value, bits consumed).
+std::optional<std::pair<std::size_t, std::size_t>> elias_gamma_decode(
+    const std::vector<bool>& bits);
+
+/// Lemma 2.5's code built from a range finding sequence.
+class SequenceTargetDistanceCode {
+ public:
+  /// `radius` is the range-finding radius (the alpha log log n of the
+  /// lemma); residual distances lie in [-radius, radius].
+  SequenceTargetDistanceCode(const RangeFindingSequence& sequence,
+                             double radius);
+
+  /// Encodes a 1-based range value; nullopt if the sequence never
+  /// solves it.
+  std::optional<std::vector<bool>> encode(std::size_t target) const;
+
+  /// Decodes a full codeword back to the range value.
+  std::optional<std::size_t> decode(const std::vector<bool>& bits) const;
+
+  /// Expected code length under `targets` (unsolvable targets excluded,
+  /// matching the lemma's assumption that the sequence solves the
+  /// game); also reports the total mass of solvable targets.
+  struct ExpectedLength {
+    double bits = 0.0;
+    double covered_mass = 0.0;
+  };
+  ExpectedLength expected_length(
+      const info::CondensedDistribution& targets) const;
+
+  std::size_t distance_bits() const { return distance_bits_; }
+
+ private:
+  const RangeFindingSequence& sequence_;
+  double radius_;
+  std::size_t distance_bits_;  // fixed width for |d|, plus 1 sign bit
+};
+
+/// Lemma 2.9's code built from a range finding tree: the path to the
+/// shallowest in-radius node plus the signed residual distance.
+class TreeTargetDistanceCode {
+ public:
+  TreeTargetDistanceCode(const RangeFindingTree& tree, double radius);
+
+  std::optional<std::vector<bool>> encode(std::size_t target) const;
+  std::optional<std::size_t> decode(const std::vector<bool>& bits) const;
+
+  SequenceTargetDistanceCode::ExpectedLength expected_length(
+      const info::CondensedDistribution& targets) const;
+
+  std::size_t distance_bits() const { return distance_bits_; }
+
+ private:
+  const RangeFindingTree& tree_;
+  double radius_;
+  std::size_t distance_bits_;
+};
+
+}  // namespace crp::rangefind

@@ -1,0 +1,124 @@
+#include "rangefind/selective.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace crp::rangefind {
+
+namespace {
+
+void check_universe(std::size_t n) {
+  if (n == 0 || n > 63) {
+    throw std::invalid_argument("bitmask families support 1 <= n <= 63");
+  }
+}
+
+}  // namespace
+
+bool is_strongly_selective(const SetFamily& family, std::size_t k) {
+  check_universe(family.n);
+  const SetMask universe = (SetMask{1} << family.n) - 1;
+  // Enumerate every subset Z of [n]; skip those larger than k. For each
+  // element z of Z, some family set must hit Z exactly in {z}.
+  for (SetMask z_set = 1; z_set <= universe; ++z_set) {
+    if (static_cast<std::size_t>(std::popcount(z_set)) > k) continue;
+    SetMask remaining = z_set;
+    while (remaining != 0) {
+      const SetMask z = remaining & (~remaining + 1);  // lowest bit
+      remaining ^= z;
+      bool selected = false;
+      for (SetMask f : family.sets) {
+        if ((z_set & f) == z) {
+          selected = true;
+          break;
+        }
+      }
+      if (!selected) return false;
+    }
+  }
+  return true;
+}
+
+SetFamily singleton_family(std::size_t n) {
+  check_universe(n);
+  SetFamily family{n, {}};
+  family.sets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    family.sets.push_back(SetMask{1} << i);
+  }
+  return family;
+}
+
+SetFamily bit_position_family(std::size_t n) {
+  check_universe(n);
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  SetFamily family{n, {}};
+  for (std::size_t b = 0; b < bits; ++b) {
+    SetMask with_bit = 0;
+    SetMask without_bit = 0;
+    for (std::size_t id = 0; id < n; ++id) {
+      if ((id >> b) & 1u) {
+        with_bit |= SetMask{1} << id;
+      } else {
+        without_bit |= SetMask{1} << id;
+      }
+    }
+    family.sets.push_back(with_bit);
+    family.sets.push_back(without_bit);
+  }
+  return family;
+}
+
+NonInteractiveScheme::NonInteractiveScheme(
+    std::size_t n, std::size_t advice_bits,
+    std::function<std::size_t(SetMask)> advise,
+    std::vector<SetMask> transmit_sets)
+    : n_(n),
+      advice_bits_(advice_bits),
+      advise_(std::move(advise)),
+      transmit_sets_(std::move(transmit_sets)) {
+  check_universe(n_);
+  if (transmit_sets_.size() != (std::size_t{1} << advice_bits_)) {
+    throw std::invalid_argument(
+        "need one transmit set per possible advice string");
+  }
+}
+
+NonInteractiveScheme NonInteractiveScheme::min_id_scheme(std::size_t n) {
+  check_universe(n);
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  std::vector<SetMask> transmit_sets(std::size_t{1} << bits, 0);
+  for (std::size_t id = 0; id < n; ++id) {
+    transmit_sets[id] = SetMask{1} << id;
+  }
+  auto advise = [](SetMask participants) -> std::size_t {
+    return static_cast<std::size_t>(std::countr_zero(participants));
+  };
+  return NonInteractiveScheme(n, bits, std::move(advise),
+                              std::move(transmit_sets));
+}
+
+std::optional<SetMask> NonInteractiveScheme::find_violation() const {
+  const SetMask universe = (SetMask{1} << n_) - 1;
+  for (SetMask participants = 1; participants <= universe; ++participants) {
+    const std::size_t advice = advise_(participants);
+    if (advice >= transmit_sets_.size()) return participants;
+    const SetMask transmitters = transmit_sets_[advice] & participants;
+    if (std::popcount(transmitters) != 1) return participants;
+  }
+  return std::nullopt;
+}
+
+SetFamily NonInteractiveScheme::induced_family() const {
+  SetFamily family{n_, {}};
+  const SetMask universe = (SetMask{1} << n_) - 1;
+  family.sets.reserve(transmit_sets_.size());
+  for (SetMask v : transmit_sets_) {
+    family.sets.push_back(v & universe);
+  }
+  return family;
+}
+
+}  // namespace crp::rangefind

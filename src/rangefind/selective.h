@@ -1,0 +1,76 @@
+// Strongly selective families (Definition 3.1) and non-interactive
+// contention resolution (Section 3.2) — the combinatorial foundation of
+// the deterministic advice lower bounds. Sets over [n] are bitmasks, so
+// the exhaustive verifiers are limited to n <= 63 (they are meant for
+// tests and the small-n bench sweeps).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "channel/protocol.h"
+#include "core/advice.h"
+
+namespace crp::rangefind {
+
+using SetMask = std::uint64_t;
+
+/// A family of subsets of [n] represented as bitmasks.
+struct SetFamily {
+  std::size_t n = 0;
+  std::vector<SetMask> sets;
+};
+
+/// Checks Definition 3.1: for every Z subset of [n] with |Z| <= k and
+/// every z in Z there is F in the family with Z intersect F = {z}.
+/// Exhaustive over all C(n, <= k) subsets; keep n small.
+bool is_strongly_selective(const SetFamily& family, std::size_t k);
+
+/// The singleton family {{0}, {1}, ..., {n-1}}: (n, n)-strongly
+/// selective of size n (the construction that meets Theorem 3.2's
+/// |F| >= n bound with equality).
+SetFamily singleton_family(std::size_t n);
+
+/// The bit-position family {ids with bit b set / clear}: 2 ceil(log2 n)
+/// sets, (n, 2)-strongly selective — shows small families exist for
+/// small k, so Theorem 3.2's size bound genuinely needs k >= sqrt(2n).
+SetFamily bit_position_family(std::size_t n);
+
+/// A non-interactive contention resolution scheme: an advice function
+/// plus the transmit set V(s) for each advice string s (who would
+/// transmit in round 1 given advice s).
+class NonInteractiveScheme {
+ public:
+  /// `transmit_sets[s]` = mask of ids transmitting on advice value s;
+  /// indexed by the integer value of the advice string (b bits).
+  NonInteractiveScheme(std::size_t n, std::size_t advice_bits,
+                       std::function<std::size_t(SetMask)> advise,
+                       std::vector<SetMask> transmit_sets);
+
+  /// The canonical optimal scheme: advice = min id (ceil(log2 n) bits),
+  /// V(s) = {s}. Solves non-interactive CR with exactly log n bits,
+  /// matching Theorem 3.3's lower bound.
+  static NonInteractiveScheme min_id_scheme(std::size_t n);
+
+  std::size_t n() const { return n_; }
+  std::size_t advice_bits() const { return advice_bits_; }
+
+  /// Exhaustively verifies that every non-empty participant set leads
+  /// to exactly one transmitter. Returns a violating set if any.
+  std::optional<SetMask> find_violation() const;
+
+  /// The induced family {V(s)} — by the Theorem 3.3 argument this is an
+  /// (n, n)-strongly selective family whenever the scheme is correct.
+  SetFamily induced_family() const;
+
+ private:
+  std::size_t n_;
+  std::size_t advice_bits_;
+  std::function<std::size_t(SetMask)> advise_;
+  std::vector<SetMask> transmit_sets_;
+};
+
+}  // namespace crp::rangefind

@@ -1,0 +1,78 @@
+#include "rangefind/sequence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crp::rangefind {
+
+RangeFindingSequence::RangeFindingSequence(std::vector<std::size_t> guesses)
+    : guesses_(std::move(guesses)) {
+  if (guesses_.empty()) {
+    throw std::invalid_argument("range finding sequence must be non-empty");
+  }
+  for (std::size_t g : guesses_) {
+    if (g == 0) throw std::invalid_argument("range values are 1-based");
+  }
+}
+
+std::optional<std::size_t> RangeFindingSequence::solve(
+    std::size_t target, double radius) const {
+  for (std::size_t t = 0; t < guesses_.size(); ++t) {
+    const double distance =
+        std::abs(static_cast<double>(guesses_[t]) -
+                 static_cast<double>(target));
+    if (distance <= radius) return t + 1;
+  }
+  return std::nullopt;
+}
+
+double RangeFindingSequence::expected_time(
+    const info::CondensedDistribution& targets, double radius,
+    std::optional<double> penalty) const {
+  const double unsolved_cost =
+      penalty.value_or(static_cast<double>(guesses_.size() + 1));
+  double expected = 0.0;
+  for (std::size_t i = 1; i <= targets.size(); ++i) {
+    const double q = targets.prob(i);
+    if (q == 0.0) continue;
+    const auto step = solve(i, radius);
+    expected += q * (step ? static_cast<double>(*step) : unsolved_cost);
+  }
+  return expected;
+}
+
+bool RangeFindingSequence::covers(std::size_t num_ranges,
+                                  double radius) const {
+  for (std::size_t i = 1; i <= num_ranges; ++i) {
+    if (!solve(i, radius)) return false;
+  }
+  return true;
+}
+
+RangeFindingSequence rf_construction(
+    const channel::ProbabilitySchedule& schedule, std::size_t rounds,
+    std::size_t n) {
+  if (rounds == 0) throw std::invalid_argument("need at least one round");
+  const std::size_t num_ranges = info::num_ranges(n);
+  std::vector<std::size_t> guesses;
+  guesses.reserve(2 * rounds);
+  std::size_t rotor = 1;  // rotating sweep over L(n)
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const double p = schedule.probability(i);
+    std::size_t guess = 1;
+    if (p <= 0.0) {
+      guess = num_ranges;  // p = 0 guesses "as large as possible"
+    } else {
+      const double raw = std::ceil(std::log2(1.0 / p));
+      guess = static_cast<std::size_t>(
+          std::clamp(raw, 1.0, static_cast<double>(num_ranges)));
+    }
+    guesses.push_back(guess);
+    guesses.push_back(rotor);
+    rotor = rotor == num_ranges ? 1 : rotor + 1;
+  }
+  return RangeFindingSequence(std::move(guesses));
+}
+
+}  // namespace crp::rangefind

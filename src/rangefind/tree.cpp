@@ -1,0 +1,181 @@
+#include "rangefind/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace crp::rangefind {
+
+RangeFindingTree::RangeFindingTree(std::vector<Node> nodes)
+    : nodes_(std::move(nodes)) {
+  if (nodes_.empty()) {
+    throw std::invalid_argument("range finding tree must be non-empty");
+  }
+  for (const Node& node : nodes_) {
+    if (node.label == 0) {
+      throw std::invalid_argument("range labels are 1-based");
+    }
+    for (int child : {node.left, node.right}) {
+      if (child != -1 &&
+          (child <= 0 || static_cast<std::size_t>(child) >= nodes_.size())) {
+        throw std::invalid_argument("child index out of bounds");
+      }
+    }
+  }
+}
+
+RangeFindingTree RangeFindingTree::canonical(std::size_t num_ranges) {
+  if (num_ranges == 0) {
+    throw std::invalid_argument("need at least one range");
+  }
+  // Complete binary tree with >= num_ranges nodes, labeled in BFS
+  // order 1, 2, ..., num_ranges (extras repeat the last range so every
+  // node carries a valid label).
+  std::size_t count = 1;
+  while (count < num_ranges) count = 2 * count + 1;
+  std::vector<Node> nodes(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    nodes[i].label = std::min(i + 1, num_ranges);
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < count) nodes[i].left = static_cast<int>(left);
+    if (right < count) nodes[i].right = static_cast<int>(right);
+  }
+  return RangeFindingTree(std::move(nodes));
+}
+
+RangeFindingTree RangeFindingTree::from_policy(
+    const channel::CollisionPolicy& policy, std::size_t n,
+    std::size_t depth) {
+  const std::size_t num_ranges = info::num_ranges(n);
+  std::size_t graft_depth = 0;  // ceil(log2 num_ranges), >= 1
+  while ((std::size_t{1} << graft_depth) < num_ranges) ++graft_depth;
+  graft_depth = std::max<std::size_t>(graft_depth, 1);
+  const std::size_t build_depth = std::max(depth, graft_depth);
+
+  const auto label_for = [&](const channel::BitString& history) {
+    const double p = policy.probability(history);
+    if (p <= 0.0) return num_ranges;
+    const double raw = std::ceil(std::log2(1.0 / p));
+    return static_cast<std::size_t>(
+        std::clamp(raw, 1.0, static_cast<double>(num_ranges)));
+  };
+
+  // BFS expansion of the history tree down to build_depth levels below
+  // the root (histories of length <= build_depth).
+  std::vector<Node> nodes;
+  struct Pending {
+    std::size_t node;
+    channel::BitString history;
+  };
+  nodes.push_back(Node{label_for({}), -1, -1});
+  std::deque<Pending> frontier;
+  frontier.push_back({0, {}});
+  int leftmost_at_graft = -1;
+  while (!frontier.empty()) {
+    auto [index, history] = std::move(frontier.front());
+    frontier.pop_front();
+    if (history.size() == graft_depth && leftmost_at_graft == -1) {
+      // BFS visits each level left-to-right, so the first node seen at
+      // the graft depth is the leftmost; record it and give it no
+      // policy children (T* replaces them).
+      leftmost_at_graft = static_cast<int>(index);
+      continue;
+    }
+    if (history.size() >= build_depth) continue;
+    for (bool bit : {false, true}) {
+      channel::BitString child_history = history;
+      child_history.push_back(bit);
+      nodes.push_back(Node{label_for(child_history), -1, -1});
+      const int child_index = static_cast<int>(nodes.size() - 1);
+      if (bit) {
+        nodes[index].right = child_index;
+      } else {
+        nodes[index].left = child_index;
+      }
+      frontier.push_back({static_cast<std::size_t>(child_index),
+                          std::move(child_history)});
+    }
+  }
+
+  // Graft T* as the only child of the leftmost depth-graft_depth node.
+  const RangeFindingTree star = canonical(num_ranges);
+  const int offset = static_cast<int>(nodes.size());
+  for (const Node& node : star.nodes()) {
+    Node copy = node;
+    if (copy.left != -1) copy.left += offset;
+    if (copy.right != -1) copy.right += offset;
+    nodes.push_back(copy);
+  }
+  if (leftmost_at_graft == -1) leftmost_at_graft = 0;  // degenerate depth
+  nodes[static_cast<std::size_t>(leftmost_at_graft)].left = offset;
+
+  return RangeFindingTree(std::move(nodes));
+}
+
+std::size_t RangeFindingTree::depth() const {
+  std::size_t max_depth = 0;
+  std::deque<std::pair<int, std::size_t>> queue{{0, 1}};
+  while (!queue.empty()) {
+    auto [index, d] = queue.front();
+    queue.pop_front();
+    max_depth = std::max(max_depth, d);
+    const Node& node = nodes_[static_cast<std::size_t>(index)];
+    if (node.left != -1) queue.push_back({node.left, d + 1});
+    if (node.right != -1) queue.push_back({node.right, d + 1});
+  }
+  return max_depth;
+}
+
+std::optional<std::size_t> RangeFindingTree::solve(std::size_t target,
+                                                   double radius) const {
+  const auto path = solve_path(target, radius);
+  if (!path) return std::nullopt;
+  return path->size() + 1;  // depth counts nodes on the path, root = 1
+}
+
+std::optional<std::vector<bool>> RangeFindingTree::solve_path(
+    std::size_t target, double radius) const {
+  struct Entry {
+    int index;
+    std::vector<bool> path;
+  };
+  std::deque<Entry> queue{{0, {}}};
+  while (!queue.empty()) {
+    auto [index, path] = std::move(queue.front());
+    queue.pop_front();
+    const Node& node = nodes_[static_cast<std::size_t>(index)];
+    const double distance = std::abs(static_cast<double>(node.label) -
+                                     static_cast<double>(target));
+    if (distance <= radius) return path;
+    if (node.left != -1) {
+      auto next = path;
+      next.push_back(false);
+      queue.push_back({node.left, std::move(next)});
+    }
+    if (node.right != -1) {
+      auto next = path;
+      next.push_back(true);
+      queue.push_back({node.right, std::move(next)});
+    }
+  }
+  return std::nullopt;
+}
+
+double RangeFindingTree::expected_time(
+    const info::CondensedDistribution& targets, double radius,
+    std::optional<double> penalty) const {
+  const double unsolved_cost =
+      penalty.value_or(static_cast<double>(depth() + 1));
+  double expected = 0.0;
+  for (std::size_t i = 1; i <= targets.size(); ++i) {
+    const double q = targets.prob(i);
+    if (q == 0.0) continue;
+    const auto d = solve(i, radius);
+    expected += q * (d ? static_cast<double>(*d) : unsolved_cost);
+  }
+  return expected;
+}
+
+}  // namespace crp::rangefind

@@ -1,0 +1,67 @@
+// The binary-tree form of range finding used by the collision-detection
+// lower bound (Section 2.4): a uniform CD algorithm is a map from
+// collision histories to probabilities, i.e. a binary tree whose node
+// for history h is labeled ceil(log2(1 / f(h))); the canonical
+// all-ranges tree T* is grafted onto the leftmost path at depth
+// ceil(log log n) so every range occurs at bounded depth (Lemma 2.11's
+// Case 2). Solving range finding = the shallowest node within the
+// allowed distance of the target.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "channel/protocol.h"
+#include "info/distribution.h"
+
+namespace crp::rangefind {
+
+class RangeFindingTree {
+ public:
+  struct Node {
+    std::size_t label = 0;  ///< 1-based range value
+    int left = -1;          ///< index into nodes(), -1 if absent
+    int right = -1;
+  };
+
+  /// Builds from an explicit node array; node 0 is the root.
+  explicit RangeFindingTree(std::vector<Node> nodes);
+
+  /// The balanced "canonical" tree T* containing every range in
+  /// [1, num_ranges] (BFS labeling; surplus slots in the last level
+  /// repeat the last range).
+  static RangeFindingTree canonical(std::size_t num_ranges);
+
+  /// Lemma 2.11's transform: interpret `policy` as a probability tree
+  /// down to `depth` levels, relabel each node with
+  /// clamp(ceil(log2(1/p)), 1, |L(n)|), and graft canonical(|L(n)|)
+  /// below the leftmost node at depth ceil(log2 |L(n)|).
+  static RangeFindingTree from_policy(const channel::CollisionPolicy& policy,
+                                      std::size_t n, std::size_t depth);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+  /// Depth (root = 1, matching the paper's "complexity of solving range
+  /// finding" = number of steps) of the shallowest node whose label is
+  /// within `radius` of `target`; nullopt if none exists.
+  std::optional<std::size_t> solve(std::size_t target, double radius) const;
+
+  /// Root-to-node path (false = left) of the shallowest in-radius node,
+  /// for building the Lemma 2.9 code. nullopt if unsolvable.
+  std::optional<std::vector<bool>> solve_path(std::size_t target,
+                                              double radius) const;
+
+  /// Expected solving depth under `targets`; unsolvable targets cost
+  /// `penalty` (defaults to depth() + 1).
+  double expected_time(const info::CondensedDistribution& targets,
+                       double radius,
+                       std::optional<double> penalty = std::nullopt) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace crp::rangefind

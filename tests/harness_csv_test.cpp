@@ -1,0 +1,108 @@
+#include "harness/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace crp::harness {
+namespace {
+
+TEST(CsvRead, ParsesSimpleDistribution) {
+  std::istringstream in("size,probability\n10,0.5\n20,0.25\n30,0.25\n");
+  const auto dist = read_size_distribution_csv(in, 64);
+  EXPECT_DOUBLE_EQ(dist.prob(10), 0.5);
+  EXPECT_DOUBLE_EQ(dist.prob(20), 0.25);
+  EXPECT_DOUBLE_EQ(dist.prob(30), 0.25);
+  EXPECT_DOUBLE_EQ(dist.prob(11), 0.0);
+}
+
+TEST(CsvRead, RenormalizesUnnormalizedWeights) {
+  std::istringstream in("4,2\n8,2\n");
+  const auto dist = read_size_distribution_csv(in, 16);
+  EXPECT_DOUBLE_EQ(dist.prob(4), 0.5);
+  EXPECT_DOUBLE_EQ(dist.prob(8), 0.5);
+}
+
+TEST(CsvRead, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# a learned model\n\n5,1.0\n");
+  const auto dist = read_size_distribution_csv(in, 16);
+  EXPECT_DOUBLE_EQ(dist.prob(5), 1.0);
+}
+
+TEST(CsvRead, AccumulatesDuplicateSizes) {
+  std::istringstream in("7,0.5\n7,0.5\n");
+  const auto dist = read_size_distribution_csv(in, 16);
+  EXPECT_DOUBLE_EQ(dist.prob(7), 1.0);
+}
+
+TEST(CsvRead, RejectsMalformedRows) {
+  {
+    std::istringstream in("5\n");
+    EXPECT_THROW(read_size_distribution_csv(in, 16), std::invalid_argument);
+  }
+  {
+    std::istringstream in("1,0.5\n");  // size < 2
+    EXPECT_THROW(read_size_distribution_csv(in, 16), std::invalid_argument);
+  }
+  {
+    std::istringstream in("100,0.5\n");  // size > n
+    EXPECT_THROW(read_size_distribution_csv(in, 16), std::invalid_argument);
+  }
+  {
+    std::istringstream in("5,-0.5\n");
+    EXPECT_THROW(read_size_distribution_csv(in, 16), std::invalid_argument);
+  }
+  {
+    std::istringstream in("5.5,0.5\n");  // non-integer size
+    EXPECT_THROW(read_size_distribution_csv(in, 16), std::invalid_argument);
+  }
+  {
+    std::istringstream in("");
+    EXPECT_THROW(read_size_distribution_csv(in, 16), std::invalid_argument);
+  }
+  {
+    std::istringstream in("5,0.5\nsize,probability\n");  // header mid-file
+    EXPECT_THROW(read_size_distribution_csv(in, 16), std::invalid_argument);
+  }
+}
+
+TEST(CsvRead, MissingFileThrows) {
+  EXPECT_THROW(
+      read_size_distribution_csv_file("/nonexistent/path.csv", 16),
+      std::invalid_argument);
+}
+
+TEST(CsvRoundTrip, WriteThenReadRecoversDistribution) {
+  const auto original = info::SizeDistribution::from_pairs(
+      64, std::vector<std::pair<std::size_t, double>>{
+              {4, 0.25}, {17, 0.5}, {63, 0.25}});
+  std::stringstream buffer;
+  write_size_distribution_csv(buffer, original);
+  const auto recovered = read_size_distribution_csv(buffer, 64);
+  for (std::size_t k = 2; k <= 64; ++k) {
+    EXPECT_NEAR(recovered.prob(k), original.prob(k), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"a", "b"});
+  writer.row({"1", "2"});
+  writer.row({"x", "y"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\nx,y\n");
+  EXPECT_THROW(writer.row({"too", "many", "cells"}),
+               std::invalid_argument);
+}
+
+TEST(CsvWriterTest, MeasurementCellsMatchHeaderWidth) {
+  Measurement m;
+  m.trials = 10;
+  m.success_rate = 0.9;
+  m.samples = {1.0, 2.0, 3.0};
+  m.rounds = summarize(m.samples);
+  EXPECT_EQ(CsvWriter::measurement_cells(m).size(),
+            CsvWriter::measurement_header().size());
+}
+
+}  // namespace
+}  // namespace crp::harness

@@ -1,0 +1,212 @@
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "info/code.h"
+#include "info/coding_theorems.h"
+#include "info/entropy.h"
+#include "info/huffman.h"
+
+namespace crp::info {
+namespace {
+
+std::vector<double> random_distribution(std::size_t alphabet,
+                                        std::mt19937_64& rng,
+                                        double zero_fraction = 0.0) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<double> probs(alphabet);
+  double total = 0.0;
+  for (auto& p : probs) {
+    p = unit(rng) < zero_fraction ? 0.0 : unit(rng) + 1e-6;
+    total += p;
+  }
+  if (total == 0.0) {
+    probs[0] = 1.0;
+    total = 1.0;
+  }
+  for (auto& p : probs) p /= total;
+  return probs;
+}
+
+TEST(PrefixCode, DetectsPrefixViolations) {
+  const PrefixCode good({{false}, {true, false}, {true, true}});
+  EXPECT_TRUE(good.is_prefix_free());
+  const PrefixCode bad({{false}, {false, true}});
+  EXPECT_FALSE(bad.is_prefix_free());
+  const PrefixCode duplicate({{true}, {true}});
+  EXPECT_FALSE(duplicate.is_prefix_free());
+}
+
+TEST(PrefixCode, KraftSumOfCompleteCodeIsOne) {
+  const PrefixCode code({{false}, {true, false}, {true, true}});
+  EXPECT_DOUBLE_EQ(code.kraft_sum(), 1.0);
+}
+
+TEST(PrefixCode, ExpectedLengthWeighsByProbability) {
+  const PrefixCode code({{false}, {true, false}, {true, true}});
+  EXPECT_DOUBLE_EQ(
+      code.expected_length(std::vector<double>{0.5, 0.25, 0.25}), 1.5);
+}
+
+TEST(PrefixCode, DecodePrefixRoundTrips) {
+  const PrefixCode code({{false}, {true, false}, {true, true}});
+  for (std::size_t s = 0; s < 3; ++s) {
+    auto bits = code.word(s);
+    bits.push_back(true);  // trailing garbage must not confuse decoding
+    const auto decoded = code.decode_prefix(bits);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->first, s);
+    EXPECT_EQ(decoded->second, code.word(s).size());
+  }
+  EXPECT_FALSE(code.decode_prefix(std::vector<bool>{}).has_value());
+}
+
+TEST(CanonicalCode, RejectsKraftViolation) {
+  const std::vector<std::size_t> lengths{1, 1, 1};
+  EXPECT_THROW(canonical_code_from_lengths(lengths), std::invalid_argument);
+}
+
+TEST(CanonicalCode, BuildsPrefixFreeCodeFromValidLengths) {
+  const std::vector<std::size_t> lengths{2, 1, 3, 3};
+  const auto code = canonical_code_from_lengths(lengths);
+  EXPECT_TRUE(code.is_prefix_free());
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    EXPECT_EQ(code.length(s), lengths[s]);
+  }
+}
+
+TEST(FixedLengthCode, UsesCeilLog2Bits) {
+  EXPECT_EQ(fixed_length_code(2).length(0), 1u);
+  EXPECT_EQ(fixed_length_code(5).length(0), 3u);
+  EXPECT_EQ(fixed_length_code(8).length(0), 3u);
+  EXPECT_EQ(fixed_length_code(9).length(0), 4u);
+  EXPECT_TRUE(fixed_length_code(9).is_prefix_free());
+}
+
+TEST(Huffman, MatchesKnownOptimalLengths) {
+  // Classic example: probabilities 0.4, 0.3, 0.2, 0.1 -> lengths
+  // 1, 2, 3, 3 (expected length 1.9).
+  const std::vector<double> probs{0.4, 0.3, 0.2, 0.1};
+  const auto code = huffman_code(probs);
+  EXPECT_TRUE(code.is_prefix_free());
+  EXPECT_NEAR(code.expected_length(probs), 1.9, 1e-12);
+}
+
+TEST(Huffman, DyadicSourceIsCodedAtEntropyExactly) {
+  const std::vector<double> probs{0.5, 0.25, 0.125, 0.125};
+  const auto code = huffman_code(probs);
+  EXPECT_DOUBLE_EQ(code.expected_length(probs), shannon_entropy(probs));
+}
+
+TEST(Huffman, SingleSymbolGetsOneBit) {
+  const auto code = huffman_code(std::vector<double>{1.0});
+  EXPECT_EQ(code.alphabet_size(), 1u);
+  EXPECT_EQ(code.length(0), 1u);
+}
+
+TEST(Huffman, ZeroProbabilitySymbolsStillGetValidCodewords) {
+  const std::vector<double> probs{0.5, 0.5, 0.0, 0.0};
+  const auto code = huffman_code(probs);
+  EXPECT_TRUE(code.is_prefix_free());
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GE(code.length(s), 1u);
+  }
+  // Zero-probability symbols must not beat positive-probability ones.
+  EXPECT_LE(code.length(0), code.length(2));
+  EXPECT_LE(code.length(1), code.length(3));
+}
+
+TEST(Huffman, DeterministicAcrossCalls) {
+  std::mt19937_64 rng(5);
+  const auto probs = random_distribution(17, rng);
+  const auto a = huffman_lengths(probs);
+  const auto b = huffman_lengths(probs);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShannonFano, LengthsAreCeilNegLog) {
+  const std::vector<double> probs{0.5, 0.25, 0.125, 0.125};
+  const auto code = shannon_fano_code(probs);
+  EXPECT_EQ(code.length(0), 1u);
+  EXPECT_EQ(code.length(1), 2u);
+  EXPECT_EQ(code.length(2), 3u);
+  EXPECT_EQ(code.length(3), 3u);
+  EXPECT_TRUE(code.is_prefix_free());
+}
+
+TEST(ShannonFano, HandlesZeroSymbolsWithoutBreakingKraft) {
+  const std::vector<double> probs{0.5, 0.5, 0.0, 0.0, 0.0};
+  const auto code = shannon_fano_code(probs);
+  EXPECT_TRUE(code.is_prefix_free());
+  EXPECT_LE(code.kraft_sum(), 1.0 + 1e-12);
+}
+
+// ---- Property sweeps over random sources ----
+
+class CodingTheorems : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CodingTheorems, HuffmanSatisfiesSourceCodingTheorem) {
+  // Theorem 2.2: H(X) <= E[S]; Huffman also achieves E[S] < H(X) + 1.
+  std::mt19937_64 rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto probs = random_distribution(GetParam() + 2, rng);
+    const auto code = huffman_code(probs);
+    const auto check = check_source_coding(code, probs);
+    EXPECT_TRUE(check.lower_bound_holds)
+        << "H=" << check.entropy << " E[S]=" << check.expected_length;
+    EXPECT_TRUE(check.upper_bound_holds)
+        << "H=" << check.entropy << " E[S]=" << check.expected_length;
+  }
+}
+
+TEST_P(CodingTheorems, HuffmanIsNeverBeatenByShannonFano) {
+  std::mt19937_64 rng(GetParam() * 31 + 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto probs = random_distribution(GetParam() + 2, rng);
+    const auto huffman = huffman_code(probs);
+    const auto fano = shannon_fano_code(probs);
+    EXPECT_LE(huffman.expected_length(probs),
+              fano.expected_length(probs) + 1e-12);
+  }
+}
+
+TEST_P(CodingTheorems, MismatchedShannonFanoObeysTheorem23) {
+  // Theorem 2.3 with the Shannon code built for Y and symbols drawn
+  // from X: H(X) + D_KL(X||Y) <= E[S] <= H(X) + D_KL(X||Y) + 1.
+  std::mt19937_64 rng(GetParam() * 17 + 3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = random_distribution(GetParam() + 2, rng);
+    const auto y = random_distribution(GetParam() + 2, rng);
+    const auto code = shannon_fano_code(y);
+    const auto check = check_mismatched_coding(code, x, y);
+    EXPECT_TRUE(check.lower_bound_holds)
+        << "H=" << check.entropy << " D=" << check.divergence
+        << " E[S]=" << check.expected_length;
+    EXPECT_TRUE(check.upper_bound_holds)
+        << "H=" << check.entropy << " D=" << check.divergence
+        << " E[S]=" << check.expected_length;
+  }
+}
+
+TEST_P(CodingTheorems, AnyPrefixCodeBeatsEntropyFromBelowNever) {
+  // Kraft-McMillan consequence: no uniquely decodable code has
+  // E[S] < H. Checked for Huffman under arbitrary *evaluation* sources
+  // built for a different design source.
+  std::mt19937_64 rng(GetParam() * 101 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = random_distribution(GetParam() + 2, rng);
+    const auto y = random_distribution(GetParam() + 2, rng);
+    const auto code = huffman_code(y);
+    // The implied distribution of the code dominates: E_x[S] >= H(x)
+    // would need Kraft > 1 to fail.
+    EXPECT_GE(code.expected_length(x) + 1e-9, shannon_entropy(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, CodingTheorems,
+                         ::testing::Values(2, 3, 5, 9, 16, 33, 64));
+
+}  // namespace
+}  // namespace crp::info

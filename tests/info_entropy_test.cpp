@@ -1,0 +1,86 @@
+#include "info/entropy.h"
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crp::info {
+namespace {
+
+TEST(ShannonEntropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(shannon_entropy(std::vector<double>{1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(shannon_entropy(std::vector<double>{0.5, 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      shannon_entropy(std::vector<double>{0.25, 0.25, 0.25, 0.25}), 2.0);
+}
+
+TEST(ShannonEntropy, ZeroEntriesContributeNothing) {
+  EXPECT_DOUBLE_EQ(
+      shannon_entropy(std::vector<double>{0.5, 0.0, 0.5, 0.0}), 1.0);
+}
+
+TEST(ShannonEntropy, DyadicDistribution) {
+  // H = 1/2*1 + 1/4*2 + 1/8*3 + 1/8*3 = 1.75.
+  EXPECT_DOUBLE_EQ(
+      shannon_entropy(std::vector<double>{0.5, 0.25, 0.125, 0.125}), 1.75);
+}
+
+TEST(KlDivergence, GibbsInequalityHoldsOnRandomPairs) {
+  // Property: D_KL(p || q) >= 0 with equality iff p == q.
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> unit(0.01, 1.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> p(8);
+    std::vector<double> q(8);
+    double sp = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      p[static_cast<std::size_t>(i)] = unit(rng);
+      q[static_cast<std::size_t>(i)] = unit(rng);
+      sp += p[static_cast<std::size_t>(i)];
+      sq += q[static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < 8; ++i) {
+      p[static_cast<std::size_t>(i)] /= sp;
+      q[static_cast<std::size_t>(i)] /= sq;
+    }
+    EXPECT_GE(kl_divergence(p, q), 0.0);
+    EXPECT_DOUBLE_EQ(kl_divergence(p, p), 0.0);
+  }
+}
+
+TEST(KlDivergence, AsymmetricKnownValue) {
+  const std::vector<double> p{0.75, 0.25};
+  const std::vector<double> q{0.5, 0.5};
+  const double expected =
+      0.75 * std::log2(0.75 / 0.5) + 0.25 * std::log2(0.25 / 0.5);
+  EXPECT_NEAR(kl_divergence(p, q), expected, 1e-12);
+  EXPECT_NE(kl_divergence(p, q), kl_divergence(q, p));
+}
+
+TEST(KlDivergence, InfiniteWhenSupportEscapes) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{1.0, 0.0};
+  EXPECT_TRUE(std::isinf(kl_divergence(p, q)));
+}
+
+TEST(CrossEntropy, DecomposesAsEntropyPlusDivergence) {
+  const std::vector<double> p{0.7, 0.2, 0.1};
+  const std::vector<double> q{0.3, 0.3, 0.4};
+  EXPECT_NEAR(cross_entropy(p, q),
+              shannon_entropy(p) + kl_divergence(p, q), 1e-12);
+}
+
+TEST(BinaryEntropy, SymmetricWithPeakAtHalf) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_NEAR(binary_entropy(0.3), binary_entropy(0.7), 1e-12);
+  EXPECT_THROW(binary_entropy(-0.1), std::invalid_argument);
+  EXPECT_THROW(binary_entropy(1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crp::info

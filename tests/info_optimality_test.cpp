@@ -1,0 +1,129 @@
+// Brute-force verification that huffman_code is truly optimal: for
+// small alphabets, enumerate EVERY Kraft-feasible length vector and
+// confirm no uniquely decodable code beats Huffman's expected length.
+// This pins the "optimal code f" assumption of Sections 2.5/2.6 to
+// ground truth rather than folklore.
+#include <cmath>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "info/code.h"
+#include "info/entropy.h"
+#include "info/huffman.h"
+
+namespace crp::info {
+namespace {
+
+/// Minimum expected length over all length vectors satisfying the
+/// Kraft inequality with per-symbol lengths in [1, max_len].
+double brute_force_optimum(const std::vector<double>& probs,
+                           std::size_t max_len) {
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> lengths(probs.size(), 1);
+  std::function<void(std::size_t, double)> recurse =
+      [&](std::size_t index, double kraft_used) {
+        if (index == probs.size()) {
+          double expected = 0.0;
+          for (std::size_t s = 0; s < probs.size(); ++s) {
+            expected += probs[s] * static_cast<double>(lengths[s]);
+          }
+          best = std::min(best, expected);
+          return;
+        }
+        for (std::size_t len = 1; len <= max_len; ++len) {
+          const double cost = std::exp2(-static_cast<double>(len));
+          if (kraft_used + cost > 1.0 + 1e-12) continue;
+          lengths[index] = len;
+          recurse(index + 1, kraft_used + cost);
+        }
+      };
+  recurse(0, 0.0);
+  return best;
+}
+
+class HuffmanOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(HuffmanOptimality, MatchesBruteForceOnRandomSources) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_int_distribution<std::size_t> alphabet_size(2, 5);
+  std::uniform_real_distribution<double> unit(0.05, 1.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t alphabet = alphabet_size(rng);
+    std::vector<double> probs(alphabet);
+    double total = 0.0;
+    for (auto& p : probs) {
+      p = unit(rng);
+      total += p;
+    }
+    for (auto& p : probs) p /= total;
+
+    const auto code = huffman_code(probs);
+    const double huffman = code.expected_length(probs);
+    const double optimum = brute_force_optimum(probs, alphabet + 2);
+    EXPECT_NEAR(huffman, optimum, 1e-9)
+        << "alphabet=" << alphabet << " trial=" << trial;
+    // And the sandwich H <= optimum <= H + 1 that Theorem 2.2 plus
+    // Shannon's achievability give.
+    const double h = shannon_entropy(probs);
+    EXPECT_GE(optimum + 1e-9, h);
+    EXPECT_LE(optimum, h + 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanOptimality,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(HuffmanOptimality, KnownHardCase) {
+  // Fibonacci-like probabilities produce maximally skewed codes.
+  const std::vector<double> probs{8.0 / 20, 5.0 / 20, 3.0 / 20,
+                                  2.0 / 20, 1.0 / 20, 1.0 / 20};
+  const auto code = huffman_code(probs);
+  EXPECT_NEAR(code.expected_length(probs),
+              brute_force_optimum(probs, 8), 1e-9);
+  EXPECT_TRUE(code.is_prefix_free());
+}
+
+TEST(CanonicalCode, ShorterLengthsGetLexicographicallySmallerWords) {
+  const std::vector<std::size_t> lengths{3, 1, 3, 2};
+  const auto code = canonical_code_from_lengths(lengths);
+  // Symbol 1 (length 1) must be "0"; symbol 3 (length 2) "10"; the two
+  // length-3 symbols "110" and "111" in symbol order.
+  EXPECT_EQ(code.word(1), (Codeword{false}));
+  EXPECT_EQ(code.word(3), (Codeword{true, false}));
+  EXPECT_EQ(code.word(0), (Codeword{true, true, false}));
+  EXPECT_EQ(code.word(2), (Codeword{true, true, true}));
+}
+
+TEST(CanonicalCode, RoundTripsThroughDecodePrefixForRandomLengths) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::size_t> extra(0, 3);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Build a Kraft-feasible length vector greedily.
+    std::vector<std::size_t> lengths;
+    double kraft = 0.0;
+    while (lengths.size() < 8) {
+      const std::size_t len = 2 + extra(rng);
+      const double cost = std::exp2(-static_cast<double>(len));
+      if (kraft + cost > 1.0) break;
+      kraft += cost;
+      lengths.push_back(len);
+    }
+    if (lengths.size() < 2) continue;
+    const auto code = canonical_code_from_lengths(lengths);
+    ASSERT_TRUE(code.is_prefix_free());
+    for (std::size_t s = 0; s < lengths.size(); ++s) {
+      auto bits = code.word(s);
+      bits.push_back(true);
+      bits.push_back(false);
+      const auto decoded = code.decode_prefix(bits);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(decoded->first, s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crp::info

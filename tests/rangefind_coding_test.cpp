@@ -1,0 +1,173 @@
+// Validates the target-distance coding machinery driving the paper's
+// lower bounds: round-trip correctness and the Source Coding Theorem
+// chain E[code length] >= H(targets) (Lemmas 2.5 and 2.9).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/decay.h"
+#include "baselines/willard.h"
+#include "info/distribution.h"
+#include "predict/families.h"
+#include "rangefind/coding.h"
+#include "rangefind/sequence.h"
+#include "rangefind/tree.h"
+
+namespace crp::rangefind {
+namespace {
+
+TEST(EliasGamma, KnownCodewords) {
+  EXPECT_EQ(elias_gamma_encode(1), (std::vector<bool>{true}));
+  EXPECT_EQ(elias_gamma_encode(2), (std::vector<bool>{false, true, false}));
+  EXPECT_EQ(elias_gamma_encode(3), (std::vector<bool>{false, true, true}));
+  EXPECT_EQ(elias_gamma_encode(4),
+            (std::vector<bool>{false, false, true, false, false}));
+  EXPECT_THROW(elias_gamma_encode(0), std::invalid_argument);
+}
+
+TEST(EliasGamma, RoundTripsUpTo4096) {
+  for (std::size_t v = 1; v <= 4096; ++v) {
+    auto bits = elias_gamma_encode(v);
+    const std::size_t len = bits.size();
+    bits.push_back(true);  // trailing garbage
+    const auto decoded = elias_gamma_decode(bits);
+    ASSERT_TRUE(decoded.has_value()) << v;
+    EXPECT_EQ(decoded->first, v);
+    EXPECT_EQ(decoded->second, len);
+  }
+}
+
+TEST(EliasGamma, LengthIsLogarithmic) {
+  for (std::size_t v : {1ul, 2ul, 7ul, 64ul, 1000ul}) {
+    const double expected =
+        2.0 * std::floor(std::log2(static_cast<double>(v))) + 1.0;
+    EXPECT_EQ(static_cast<double>(elias_gamma_encode(v).size()), expected);
+  }
+}
+
+TEST(EliasGamma, DecodeRejectsTruncation) {
+  EXPECT_FALSE(elias_gamma_decode(std::vector<bool>{}).has_value());
+  EXPECT_FALSE(
+      elias_gamma_decode(std::vector<bool>{false, false}).has_value());
+  EXPECT_FALSE(
+      elias_gamma_decode(std::vector<bool>{false, true}).has_value());
+}
+
+TEST(SequenceCode, RoundTripsEveryTarget) {
+  const RangeFindingSequence seq({2, 8, 5, 11, 1, 14});
+  const SequenceTargetDistanceCode code(seq, 2.0);
+  for (std::size_t target = 1; target <= 16; ++target) {
+    const auto bits = code.encode(target);
+    if (!bits) continue;  // out of reach for this sequence
+    const auto decoded = code.decode(*bits);
+    ASSERT_TRUE(decoded.has_value()) << target;
+    EXPECT_EQ(*decoded, target);
+  }
+}
+
+TEST(SequenceCode, ZeroRadiusNeedsNoDistanceBits) {
+  const RangeFindingSequence seq({1, 2, 3, 4});
+  const SequenceTargetDistanceCode code(seq, 0.0);
+  EXPECT_EQ(code.distance_bits(), 0u);
+  const auto bits = code.encode(3);
+  ASSERT_TRUE(bits.has_value());
+  // gamma(3) = 3 bits + sign bit + 0 distance bits.
+  EXPECT_EQ(bits->size(), 4u);
+  EXPECT_EQ(code.decode(*bits), std::optional<std::size_t>(3));
+}
+
+TEST(SequenceCode, UnreachableTargetsEncodeToNothing) {
+  const RangeFindingSequence seq({1});
+  const SequenceTargetDistanceCode code(seq, 0.0);
+  EXPECT_FALSE(code.encode(5).has_value());
+}
+
+TEST(SequenceCode, SourceCodingTheoremLowerBoundsExpectedLength) {
+  // Lemma 2.5's chain: the target-distance code built from any range
+  // finding sequence is uniquely decodable, so its expected length is
+  // at least H(targets). Check across several target distributions.
+  constexpr std::size_t n = 1 << 12;
+  const baselines::DecaySchedule decay(n);
+  const auto seq = rf_construction(decay, 500, n);
+  const double radius = std::log2(std::log2(static_cast<double>(n)));
+  const SequenceTargetDistanceCode code(seq, radius);
+  const std::size_t num_ranges = info::num_ranges(n);
+  for (double decay_rate : {0.3, 0.6, 0.9, 1.0}) {
+    const auto targets =
+        crp::predict::geometric_ranges(num_ranges, decay_rate);
+    const auto [bits, mass] = code.expected_length(targets);
+    ASSERT_NEAR(mass, 1.0, 1e-9);
+    EXPECT_GE(bits + 1e-9, targets.entropy())
+        << "decay_rate=" << decay_rate;
+  }
+}
+
+TEST(SequenceCode, ExpectedLengthTracksLemma25Shape) {
+  // E[len] <= log2(E[steps]) + O(log radius): encoding the solve step
+  // in gamma costs ~2 log2(step) bits, and Jensen moves the expectation
+  // inside the log.
+  constexpr std::size_t n = 1 << 12;
+  const baselines::DecaySchedule decay(n);
+  const auto seq = rf_construction(decay, 500, n);
+  const double radius = 4.0;
+  const SequenceTargetDistanceCode code(seq, radius);
+  const auto targets =
+      crp::predict::uniform_over_ranges(info::num_ranges(n), 12);
+  const double expected_steps = seq.expected_time(targets, radius);
+  const auto [bits, mass] = code.expected_length(targets);
+  ASSERT_NEAR(mass, 1.0, 1e-9);
+  EXPECT_LE(bits, 2.0 * std::log2(expected_steps + 1.0) + 1.0 +
+                      std::log2(2.0 * radius + 1.0) + 2.0);
+}
+
+TEST(TreeCode, RoundTripsEveryTarget) {
+  const auto tree = RangeFindingTree::canonical(16);
+  const TreeTargetDistanceCode code(tree, 1.0);
+  for (std::size_t target = 1; target <= 16; ++target) {
+    const auto bits = code.encode(target);
+    ASSERT_TRUE(bits.has_value()) << target;
+    const auto decoded = code.decode(*bits);
+    ASSERT_TRUE(decoded.has_value()) << target;
+    EXPECT_EQ(*decoded, target);
+  }
+}
+
+TEST(TreeCode, WillardTreeCodeRespectsSourceCodingTheorem) {
+  // Lemma 2.9's chain with the tree built from Willard's policy.
+  constexpr std::size_t n = 1 << 16;
+  const baselines::WillardPolicy willard(n);
+  const auto tree = RangeFindingTree::from_policy(willard, n, 8);
+  const double radius =
+      std::log2(std::log2(std::log2(static_cast<double>(n)))) + 1.0;
+  const TreeTargetDistanceCode code(tree, radius);
+  const std::size_t num_ranges = info::num_ranges(n);
+  for (double s : {0.0, 0.7, 1.5}) {
+    const auto targets = crp::predict::zipf_ranges(num_ranges, s);
+    const auto [bits, mass] = code.expected_length(targets);
+    ASSERT_NEAR(mass, 1.0, 1e-9);
+    EXPECT_GE(bits + 1e-9, targets.entropy()) << "s=" << s;
+  }
+}
+
+TEST(TreeCode, ExpectedLengthCloseToExpectedDepth) {
+  // Lemma 2.9: E[len] <= E[depth] + O(log log log log n) (+ the gamma
+  // delimiter overhead of this executable version).
+  constexpr std::size_t n = 1 << 16;
+  const baselines::WillardPolicy willard(n);
+  const auto tree = RangeFindingTree::from_policy(willard, n, 8);
+  const double radius = 2.0;
+  const TreeTargetDistanceCode code(tree, radius);
+  const auto targets =
+      crp::predict::uniform_over_ranges(info::num_ranges(n), 16);
+  const double expected_depth = tree.expected_time(targets, radius);
+  const auto [bits, mass] = code.expected_length(targets);
+  ASSERT_NEAR(mass, 1.0, 1e-9);
+  const double delimiter_overhead =
+      2.0 * std::log2(expected_depth + 2.0) + 1.0;
+  const double distance_overhead = std::log2(2.0 * radius + 1.0) + 2.0;
+  EXPECT_LE(bits,
+            expected_depth + delimiter_overhead + distance_overhead);
+}
+
+}  // namespace
+}  // namespace crp::rangefind

@@ -1,0 +1,152 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/decay.h"
+#include "baselines/willard.h"
+#include "info/distribution.h"
+#include "predict/families.h"
+#include "rangefind/sequence.h"
+#include "rangefind/tree.h"
+
+namespace crp::rangefind {
+namespace {
+
+TEST(Sequence, SolveFindsFirstInRadiusPosition) {
+  const RangeFindingSequence seq({5, 1, 9, 3});
+  EXPECT_EQ(seq.solve(5, 0.0), std::optional<std::size_t>(1));
+  EXPECT_EQ(seq.solve(2, 1.0), std::optional<std::size_t>(2));
+  EXPECT_EQ(seq.solve(8, 1.0), std::optional<std::size_t>(3));
+  EXPECT_EQ(seq.solve(20, 2.0), std::nullopt);
+}
+
+TEST(Sequence, ExpectedTimeWeighsTargets) {
+  const RangeFindingSequence seq({1, 2, 3});
+  const info::CondensedDistribution targets{{0.5, 0.25, 0.25}};
+  // Radius 0: target i solved at step i.
+  EXPECT_NEAR(seq.expected_time(targets, 0.0),
+              0.5 * 1 + 0.25 * 2 + 0.25 * 3, 1e-12);
+  // Radius 1: target 1 and 2 solved at step 1, target 3 at step 2.
+  EXPECT_NEAR(seq.expected_time(targets, 1.0),
+              0.5 * 1 + 0.25 * 1 + 0.25 * 2, 1e-12);
+}
+
+TEST(Sequence, CoversDetectsGaps) {
+  const RangeFindingSequence seq({1, 5});
+  EXPECT_TRUE(seq.covers(5, 2.0));   // radius 2 reaches 1..3 and 3..5
+  EXPECT_FALSE(seq.covers(5, 1.5));  // target 3 is 2 away from both
+  EXPECT_FALSE(seq.covers(8, 1.0));
+}
+
+TEST(RfConstruction, InterleavesGuessesAndRotor) {
+  // Decay probabilities 1, 1/2, 1/4 -> guesses clamp(log2(1/p)) =
+  // 1, 1, 2; rotor cycles 1, 2, 3 (n = 8 has 3 ranges).
+  const baselines::DecaySchedule decay(8);
+  const auto seq = rf_construction(decay, 3, 8);
+  ASSERT_EQ(seq.size(), 6u);
+  EXPECT_EQ(seq.guesses(), (std::vector<std::size_t>{1, 1, 1, 2, 2, 3}));
+}
+
+TEST(RfConstruction, RotorGuaranteesCoverageWithinTwoSweeps) {
+  // Lemma 2.7 Case 2: every range must appear within the first
+  // 2 * ceil(log n) positions regardless of the schedule.
+  const baselines::DecaySchedule decay(1 << 10);
+  const std::size_t num_ranges = info::num_ranges(1 << 10);
+  const auto seq = rf_construction(decay, 2 * num_ranges, 1 << 10);
+  for (std::size_t target = 1; target <= num_ranges; ++target) {
+    const auto step = seq.solve(target, 0.0);
+    ASSERT_TRUE(step.has_value()) << "target " << target;
+    EXPECT_LE(*step, 2 * 2 * num_ranges);
+  }
+}
+
+TEST(RfConstruction, DecayInducesFastRangeFinding) {
+  // Lemma 2.7's conclusion, empirically: the sequence built from decay
+  // solves range finding for every target within ~2x the position at
+  // which decay first uses the right probability.
+  constexpr std::size_t n = 1 << 12;
+  const baselines::DecaySchedule decay(n);
+  const auto seq = rf_construction(decay, 200, n);
+  const std::size_t num_ranges = info::num_ranges(n);
+  for (std::size_t target = 1; target <= num_ranges; ++target) {
+    const auto step = seq.solve(target, 0.0);
+    ASSERT_TRUE(step.has_value());
+    // Decay probes range `target` at 0-based round target (p = 2^-t),
+    // position target+1; doubled by interleaving.
+    EXPECT_LE(*step, 2 * (target + 1) + 2);
+  }
+}
+
+TEST(RfConstruction, RejectsZeroRounds) {
+  const baselines::DecaySchedule decay(8);
+  EXPECT_THROW(rf_construction(decay, 0, 8), std::invalid_argument);
+}
+
+TEST(Tree, CanonicalContainsEveryRangeAtBoundedDepth) {
+  for (std::size_t num_ranges : {1ul, 2ul, 3ul, 7ul, 16ul, 33ul}) {
+    const auto tree = RangeFindingTree::canonical(num_ranges);
+    std::size_t max_depth_bound = 1;
+    while ((std::size_t{1} << max_depth_bound) < num_ranges + 1) {
+      ++max_depth_bound;
+    }
+    for (std::size_t target = 1; target <= num_ranges; ++target) {
+      const auto depth = tree.solve(target, 0.0);
+      ASSERT_TRUE(depth.has_value())
+          << "ranges=" << num_ranges << " target=" << target;
+      EXPECT_LE(*depth, max_depth_bound + 1);
+    }
+  }
+}
+
+TEST(Tree, SolvePathDescendsToTheSolvingNode) {
+  const auto tree = RangeFindingTree::canonical(7);
+  // Root is labeled 1 (BFS order); target 1 solved at the root.
+  const auto path = tree.solve_path(1, 0.0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->empty());
+  const auto deeper = tree.solve_path(7, 0.0);
+  ASSERT_TRUE(deeper.has_value());
+  EXPECT_EQ(deeper->size(), 2u);  // label 7 sits on level 3 (depth 3)
+}
+
+TEST(Tree, FromPolicyGraftsAllRanges) {
+  constexpr std::size_t n = 1 << 10;  // 10 ranges
+  const baselines::WillardPolicy willard(n);
+  const auto tree = RangeFindingTree::from_policy(willard, n, 8);
+  const std::size_t num_ranges = info::num_ranges(n);
+  for (std::size_t target = 1; target <= num_ranges; ++target) {
+    EXPECT_TRUE(tree.solve(target, 0.0).has_value()) << target;
+  }
+}
+
+TEST(Tree, WillardTreeSolvesFastForEveryTarget) {
+  // Willard's binary search hits every range within ceil(log2 L) + 1
+  // probes, so the induced range finding tree solves every target at
+  // depth O(log L) even before the grafted T*.
+  constexpr std::size_t n = 1 << 16;  // 16 ranges
+  const baselines::WillardPolicy willard(n);
+  const auto tree = RangeFindingTree::from_policy(willard, n, 6);
+  for (std::size_t target = 1; target <= info::num_ranges(n); ++target) {
+    const auto depth = tree.solve(target, 0.0);
+    ASSERT_TRUE(depth.has_value()) << target;
+    EXPECT_LE(*depth, 5u) << target;  // ceil(log2 16) + 1
+  }
+}
+
+TEST(Tree, ExpectedTimeTracksDistribution) {
+  const auto tree = RangeFindingTree::canonical(7);
+  const auto concentrated = info::CondensedDistribution::point_mass(7, 1);
+  const auto spread = info::CondensedDistribution::uniform(7);
+  EXPECT_LT(tree.expected_time(concentrated, 0.0),
+            tree.expected_time(spread, 0.0));
+}
+
+TEST(Tree, RejectsMalformedNodes) {
+  EXPECT_THROW(RangeFindingTree({{0, -1, -1}}), std::invalid_argument);
+  EXPECT_THROW(RangeFindingTree({{1, 5, -1}}), std::invalid_argument);
+  EXPECT_THROW(RangeFindingTree(std::vector<RangeFindingTree::Node>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crp::rangefind
