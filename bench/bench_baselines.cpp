@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "baselines/aloha.h"
 #include "baselines/decay.h"
 #include "baselines/simple.h"
@@ -21,6 +23,7 @@
 #include "core/likelihood_schedule.h"
 #include "harness/fit.h"
 #include "harness/measure.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "info/distribution.h"
 #include "predict/families.h"
@@ -29,7 +32,16 @@ namespace {
 
 constexpr std::uint64_t kSeed = 16180;
 constexpr std::size_t kTrials = 5000;
+using crp::bench::fast;
 using crp::harness::fmt;
+using crp::harness::MeasureOptions;
+using crp::harness::NoCdEngine;
+
+/// Exact per-round engine, pooled — for the engine-ablation rows where
+/// the engine choice is the point.
+MeasureOptions pooled(std::size_t max_rounds, NoCdEngine engine) {
+  return MeasureOptions{.max_rounds = max_rounds, .engine = engine};
+}
 
 void print_worst_case_scaling() {
   std::cout << "== Baseline worst-case scaling (k = n - 1, expected "
@@ -46,11 +58,11 @@ void print_worst_case_scaling() {
     const auto fixed =
         crp::baselines::FixedProbabilitySchedule::for_size_estimate(k);
     const auto m_decay = crp::harness::measure_uniform_no_cd_fixed_k(
-        decay, k, kTrials, kSeed, 1 << 16);
+        decay, k, kTrials, kSeed, fast(1 << 16));
     const auto m_willard = crp::harness::measure_uniform_cd_fixed_k(
-        willard, k, kTrials, kSeed + 1, 1 << 14);
+        willard, k, kTrials, kSeed + 1, fast(1 << 14));
     const auto m_fixed = crp::harness::measure_uniform_no_cd_fixed_k(
-        fixed, k, kTrials, kSeed + 2, 1 << 12);
+        fixed, k, kTrials, kSeed + 2, fast(1 << 12));
     table.add_row({fmt(n), fmt(double(bits), 0),
                    fmt(m_decay.rounds.mean, 2),
                    fmt(std::log2(double(bits)), 2),
@@ -83,13 +95,13 @@ void print_prediction_crossover() {
     const crp::core::LikelihoodOrderedSchedule schedule(condensed);
     const crp::core::CodedSearchPolicy policy(condensed);
     const auto m_pred_nocd = crp::harness::measure_uniform_no_cd(
-        schedule, actual, kTrials, kSeed + 3, 1 << 18);
+        schedule, actual, kTrials, kSeed + 3, fast(1 << 18));
     const auto m_decay = crp::harness::measure_uniform_no_cd(
-        decay, actual, kTrials, kSeed + 3, 1 << 18);
+        decay, actual, kTrials, kSeed + 3, fast(1 << 18));
     const auto m_pred_cd = crp::harness::measure_uniform_cd(
-        policy, actual, kTrials, kSeed + 4, 1 << 14);
+        policy, actual, kTrials, kSeed + 4, fast(1 << 14));
     const auto m_willard = crp::harness::measure_uniform_cd(
-        willard, actual, kTrials, kSeed + 4, 1 << 14);
+        willard, actual, kTrials, kSeed + 4, fast(1 << 14));
     table.add_row({fmt(condensed.entropy(), 2),
                    fmt(m_pred_nocd.rounds.mean, 2),
                    fmt(m_decay.rounds.mean, 2),
@@ -104,25 +116,30 @@ void print_prediction_crossover() {
 void print_engine_ablation() {
   constexpr std::size_t n = 1 << 10;
   constexpr std::size_t k = 500;
-  std::cout << "== Ablation: binomial vs per-player engine, and decay "
-               "sweep direction (n = " << n << ", k = " << k << ") ==\n";
+  std::cout << "== Ablation: binomial vs per-player vs batch engine, and "
+               "decay sweep direction (n = " << n << ", k = " << k
+            << ") ==\n";
   crp::harness::Table table({"variant", "mean rounds", "p90"});
   const crp::baselines::DecaySchedule decay(n);
   const crp::baselines::ReverseDecaySchedule reverse(n);
   const auto m_binomial = crp::harness::measure_uniform_no_cd_fixed_k(
-      decay, k, kTrials, kSeed + 5, 1 << 14);
-  const auto m_players = crp::harness::measure(
+      decay, k, kTrials, kSeed + 5, pooled(1 << 14, NoCdEngine::kBinomial));
+  const auto m_players = crp::harness::measure_parallel(
       [&](std::size_t, std::mt19937_64& rng) {
         return crp::channel::run_uniform_no_cd_per_player(decay, k, rng,
                                                           {1 << 14});
       },
       kTrials, kSeed + 5);
+  const auto m_batch = crp::harness::measure_uniform_no_cd_fixed_k(
+      decay, k, kTrials, kSeed + 5, fast(1 << 14));
   const auto m_reverse = crp::harness::measure_uniform_no_cd_fixed_k(
-      reverse, k, kTrials, kSeed + 5, 1 << 14);
+      reverse, k, kTrials, kSeed + 5, pooled(1 << 14, NoCdEngine::kBinomial));
   table.add_row({"decay, binomial engine", fmt(m_binomial.rounds.mean, 2),
                  fmt(m_binomial.rounds.p90, 1)});
   table.add_row({"decay, per-player engine", fmt(m_players.rounds.mean, 2),
                  fmt(m_players.rounds.p90, 1)});
+  table.add_row({"decay, batch engine", fmt(m_batch.rounds.mean, 2),
+                 fmt(m_batch.rounds.p90, 1)});
   table.add_row({"reverse decay, binomial", fmt(m_reverse.rounds.mean, 2),
                  fmt(m_reverse.rounds.p90, 1)});
   table.print(std::cout);
@@ -143,23 +160,23 @@ void print_aloha_comparison() {
                              "decay mean", "fixed 1/k mean"});
   const crp::baselines::DecaySchedule decay(n);
   for (std::size_t k : {8ul, 64ul, 512ul, 4000ul}) {
-    const auto m_aloha = crp::harness::measure(
+    const auto m_aloha = crp::harness::measure_parallel(
         [k](std::size_t, std::mt19937_64& rng) {
           return crp::baselines::run_slotted_aloha(k, k, rng, {1 << 16});
         },
         kTrials, kSeed + 8);
-    const auto m_backoff = crp::harness::measure(
+    const auto m_backoff = crp::harness::measure_parallel(
         [k](std::size_t, std::mt19937_64& rng) {
           return crp::baselines::run_backoff_aloha(k, 1, 1 << 13, rng,
                                                    {1 << 16});
         },
         kTrials, kSeed + 9);
     const auto m_decay = crp::harness::measure_uniform_no_cd_fixed_k(
-        decay, k, kTrials, kSeed + 10, 1 << 16);
+        decay, k, kTrials, kSeed + 10, fast(1 << 16));
     const auto fixed =
         crp::baselines::FixedProbabilitySchedule::for_size_estimate(k);
     const auto m_fixed = crp::harness::measure_uniform_no_cd_fixed_k(
-        fixed, k, kTrials, kSeed + 11, 1 << 12);
+        fixed, k, kTrials, kSeed + 11, fast(1 << 12));
     table.add_row({fmt(k), fmt(m_aloha.rounds.mean, 1),
                    fmt(m_backoff.rounds.mean, 1),
                    fmt(m_decay.rounds.mean, 1),
@@ -208,10 +225,12 @@ BENCHMARK(BM_WillardPolicyReplay)->Arg(4)->Arg(64)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_worst_case_scaling();
-  print_prediction_crossover();
-  print_engine_ablation();
-  print_aloha_comparison();
+  if (crp::bench::consume_skip_tables(argc, argv)) {
+    print_worst_case_scaling();
+    print_prediction_crossover();
+    print_engine_ablation();
+    print_aloha_comparison();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "baselines/decay.h"
 #include "baselines/willard.h"
 #include "channel/rng.h"
@@ -138,9 +140,9 @@ void print_backend_ablation() {
     const crp::core::CodedSearchPolicy fano(
         condensed, crp::core::CodeBackend::kShannonFano);
     const auto m_huffman = crp::harness::measure_uniform_cd(
-        huffman, actual, 5000, kSeed, 1 << 14);
+        huffman, actual, 5000, kSeed, crp::bench::fast(1 << 14));
     const auto m_fano = crp::harness::measure_uniform_cd(
-        fano, actual, 5000, kSeed, 1 << 14);
+        fano, actual, 5000, kSeed, crp::bench::fast(1 << 14));
     table.add_row({"zipf(" + fmt(s, 1) + ")",
                    fmt(m_huffman.rounds.mean, 2),
                    fmt(m_fano.rounds.mean, 2)});
@@ -182,9 +184,11 @@ BENCHMARK(BM_TreeFromPolicy)->Arg(6)->Arg(10);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_source_coding();
-  print_rf_chain();
-  print_backend_ablation();
+  if (crp::bench::consume_skip_tables(argc, argv)) {
+    print_source_coding();
+    print_rf_chain();
+    print_backend_ablation();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "channel/rng.h"
 #include "core/coded_search.h"
 #include "core/likelihood_schedule.h"
@@ -24,6 +26,7 @@ namespace {
 constexpr std::size_t kNetwork = 1 << 16;
 constexpr std::size_t kTrials = 6000;
 constexpr std::uint64_t kSeed = 271828;
+using crp::bench::fast;
 using crp::harness::fmt;
 
 void print_divergence_sweep() {
@@ -49,13 +52,13 @@ void print_divergence_sweep() {
 
     const crp::core::LikelihoodOrderedSchedule schedule(prediction);
     const auto no_cd = crp::harness::measure_uniform_no_cd(
-        schedule, actual, kTrials, kSeed, 1 << 18);
+        schedule, actual, kTrials, kSeed, fast(1 << 18));
     double r16 = 1.0;
     while (no_cd.solved_within(r16) < 1.0 / 16.0) r16 += 1.0;
 
     const crp::core::CodedSearchPolicy policy(prediction);
     const auto cd = crp::harness::measure_uniform_cd(
-        policy, actual, kTrials, kSeed + 1, 1 << 14);
+        policy, actual, kTrials, kSeed + 1, fast(1 << 14));
 
     table.add_row({fmt(d, 3), fmt(std::exp2(2 * h + 2 * d), 1),
                    fmt(r16, 0), fmt(no_cd.rounds.mean, 2),
@@ -84,14 +87,14 @@ void print_bounded_factor_robustness() {
       {"jitter factor c", "measured D_KL", "noCD mean", "vs exact"});
   const crp::core::LikelihoodOrderedSchedule exact_schedule(truth);
   const auto exact = crp::harness::measure_uniform_no_cd(
-      exact_schedule, actual, kTrials, kSeed + 2, 1 << 18);
+      exact_schedule, actual, kTrials, kSeed + 2, fast(1 << 18));
   for (double factor : {1.0, 1.5, 2.0, 4.0, 8.0}) {
     auto rng = crp::channel::make_rng(kSeed + 7);
     const auto prediction =
         crp::predict::multiplicative_jitter(truth, factor, rng);
     const crp::core::LikelihoodOrderedSchedule schedule(prediction);
     const auto noisy = crp::harness::measure_uniform_no_cd(
-        schedule, actual, kTrials, kSeed + 2, 1 << 18);
+        schedule, actual, kTrials, kSeed + 2, fast(1 << 18));
     table.add_row({fmt(factor, 1),
                    fmt(truth.kl_divergence(prediction), 3),
                    fmt(noisy.rounds.mean, 2),
@@ -115,9 +118,9 @@ void print_learned_predictor() {
     const crp::core::LikelihoodOrderedSchedule schedule(prediction);
     const crp::core::CodedSearchPolicy policy(prediction);
     const auto no_cd = crp::harness::measure_uniform_no_cd(
-        schedule, truth, kTrials, kSeed + 3, 1 << 18);
+        schedule, truth, kTrials, kSeed + 3, fast(1 << 18));
     const auto cd = crp::harness::measure_uniform_cd(
-        policy, truth, kTrials, kSeed + 4, 1 << 14);
+        policy, truth, kTrials, kSeed + 4, fast(1 << 14));
     table.add_row({fmt(samples),
                    fmt(condensed_truth.kl_divergence(prediction), 3),
                    fmt(no_cd.rounds.mean, 2), fmt(cd.rounds.mean, 2)});
@@ -151,9 +154,11 @@ BENCHMARK(BM_EmpiricalPredictor)->Arg(100)->Arg(10000);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_divergence_sweep();
-  print_bounded_factor_robustness();
-  print_learned_predictor();
+  if (crp::bench::consume_skip_tables(argc, argv)) {
+    print_divergence_sweep();
+    print_bounded_factor_robustness();
+    print_learned_predictor();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "baselines/decay.h"
 #include "baselines/willard.h"
 #include "core/advice.h"
@@ -164,9 +166,11 @@ BENCHMARK(BM_ExactWorstCase)->Arg(2)->Arg(3);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_entropy_profiles();
-  print_divergence_profiles();
-  print_exact_adversary();
+  if (crp::bench::consume_skip_tables(argc, argv)) {
+    print_entropy_profiles();
+    print_divergence_profiles();
+    print_exact_adversary();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -19,6 +19,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "baselines/decay.h"
 #include "baselines/willard.h"
 #include "channel/rng.h"
@@ -39,7 +41,16 @@ constexpr std::size_t kNetwork = 1 << 16;  // 16 geometric ranges
 constexpr std::size_t kTrials = 6000;
 constexpr std::uint64_t kSeed = 20210526;  // arXiv submission date
 
+using crp::bench::fast;
 using crp::harness::fmt;
+using crp::harness::MeasureOptions;
+using crp::harness::NoCdEngine;
+
+/// The seed configuration: serial, exact per-round binomial loop.
+MeasureOptions seed_path(std::size_t max_rounds) {
+  return MeasureOptions{
+      .max_rounds = max_rounds, .threads = 1, .engine = NoCdEngine::kBinomial};
+}
 
 void print_upper_bounds() {
   const std::size_t ranges = crp::info::num_ranges(kNetwork);
@@ -59,7 +70,7 @@ void print_upper_bounds() {
 
     const crp::core::LikelihoodOrderedSchedule schedule(condensed);
     const auto no_cd = crp::harness::measure_uniform_no_cd(
-        schedule, actual, kTrials, kSeed, 1 << 18);
+        schedule, actual, kTrials, kSeed, fast(1 << 18));
 
     // Smallest round budget at which >= 1/16 of one-shot executions
     // have succeeded (the Theorem 2.12 success criterion). The p90
@@ -70,7 +81,7 @@ void print_upper_bounds() {
     const crp::core::CodedSearchPolicy policy(condensed);
     const auto cd = crp::harness::measure_uniform_cd(policy, actual,
                                                      kTrials, kSeed + 1,
-                                                     1 << 14);
+                                                     fast(1 << 14));
     double r_cd = 1.0;
     while (cd.solved_within(r_cd) < 0.25) r_cd += 1.0;
 
@@ -114,9 +125,9 @@ void print_lower_bounds() {
     const auto [tree_bits, tree_mass] =
         tree_code.expected_length(condensed);
     const auto m_decay = crp::harness::measure_uniform_no_cd(
-        decay, actual, kTrials / 2, kSeed + 2, 1 << 18);
+        decay, actual, kTrials / 2, kSeed + 2, fast(1 << 18));
     const auto m_willard = crp::harness::measure_uniform_cd(
-        willard, actual, kTrials / 2, kSeed + 3, 1 << 14);
+        willard, actual, kTrials / 2, kSeed + 3, fast(1 << 14));
     table.add_row(
         {fmt(h, 2), fmt(std::exp2(h) / loglog, 2),
          fmt(seq_bits, 2) + (seq_bits + 1e-9 >= h ? " yes" : " NO"),
@@ -150,6 +161,44 @@ void print_pliam_conjecture() {
                "that the extra factor in the 2^{2H} exponent is real.)"
                "\n\n";
 }
+
+// ---- PR 1 acceptance benchmark: Table 1 no-CD sweep, seed vs fast ----
+//
+// The exact workload of print_upper_bounds' no-CD column (same entropy
+// sweep, same trial counts, same seeds), measured end to end through
+// the seed configuration (serial, per-round binomial loop) and the
+// fast path (analytic batch engine + thread pool). The speedup target
+// for this PR is >= 10x; compare the two entries in BENCH_table1.json.
+
+void Table1NoCdSweep(benchmark::State& state,
+                     const MeasureOptions& options) {
+  const std::size_t ranges = crp::info::num_ranges(kNetwork);
+  double checksum = 0.0;
+  for (auto _ : state) {
+    for (std::size_t m = 1; m <= ranges; m *= 2) {
+      const auto condensed = crp::predict::uniform_over_ranges(ranges, m);
+      const auto actual = crp::predict::lift(
+          condensed, kNetwork, crp::predict::RangePlacement::kHighEndpoint);
+      const crp::core::LikelihoodOrderedSchedule schedule(condensed);
+      const auto no_cd = crp::harness::measure_uniform_no_cd(
+          schedule, actual, kTrials, kSeed, options);
+      checksum += no_cd.rounds.mean;
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+
+void BM_Table1NoCdSweepSeedSerial(benchmark::State& state) {
+  Table1NoCdSweep(state, seed_path(1 << 18));
+}
+BENCHMARK(BM_Table1NoCdSweepSeedSerial)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_Table1NoCdSweepBatchParallel(benchmark::State& state) {
+  Table1NoCdSweep(state, fast(1 << 18));
+}
+BENCHMARK(BM_Table1NoCdSweepBatchParallel)->Unit(benchmark::kMillisecond);
 
 // ---- google-benchmark microbenchmarks: per-round simulation cost ----
 
@@ -194,9 +243,11 @@ BENCHMARK(BM_CdRound)->Arg(1)->Arg(4)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_upper_bounds();
-  print_lower_bounds();
-  print_pliam_conjecture();
+  if (crp::bench::consume_skip_tables(argc, argv)) {
+    print_upper_bounds();
+    print_lower_bounds();
+    print_pliam_conjecture();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -19,6 +19,8 @@
 
 #include <memory>
 
+#include "bench_util.h"
+
 #include "channel/rng.h"
 #include "core/advice.h"
 #include "core/advice_deterministic.h"
@@ -33,6 +35,7 @@
 namespace {
 
 constexpr std::uint64_t kSeed = 314159;
+using crp::bench::fast;
 using crp::harness::fmt;
 
 void print_deterministic() {
@@ -78,9 +81,9 @@ void print_randomized() {
     const crp::core::TruncatedWillardPolicy willard(
         advice.ranges_in_group(group));
     const auto m_decay = crp::harness::measure_uniform_no_cd_fixed_k(
-        decay, k, trials, kSeed + 2, 1 << 14);
+        decay, k, trials, kSeed + 2, fast(1 << 14));
     const auto m_willard = crp::harness::measure_uniform_cd_fixed_k(
-        willard, k, trials, kSeed + 3, 1 << 12);
+        willard, k, trials, kSeed + 3, fast(1 << 12));
     table.add_row(
         {fmt(b), fmt(std::log2(double(n)) / std::exp2(double(b)), 2),
          fmt(m_decay.rounds.mean, 2),
@@ -133,9 +136,9 @@ void print_faulty_advice() {
   for (double flip : {0.0, 0.05, 0.2, 0.5, 1.0}) {
     const crp::core::FaultyAdvice faulty(inner, flip, kSeed + 9);
     const auto m_scan = crp::harness::measure_deterministic_advice(
-        scan, faulty, sizes, n, false, trials, kSeed + 10, 8 * n);
+        scan, faulty, sizes, n, false, trials, kSeed + 10, fast(8 * n));
     const auto m_descent = crp::harness::measure_deterministic_advice(
-        descent, faulty, sizes, n, true, trials, kSeed + 11, 8 * n);
+        descent, faulty, sizes, n, true, trials, kSeed + 11, fast(8 * n));
     const bool all_solved =
         m_scan.success_rate == 1.0 && m_descent.success_rate == 1.0;
     table.add_row({fmt(flip, 2), fmt(m_scan.rounds.mean, 2),
@@ -192,10 +195,12 @@ BENCHMARK(BM_NonInteractiveVerification)->Arg(8)->Arg(12)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_deterministic();
-  print_randomized();
-  print_non_interactive();
-  print_faulty_advice();
+  if (crp::bench::consume_skip_tables(argc, argv)) {
+    print_deterministic();
+    print_randomized();
+    print_non_interactive();
+    print_faulty_advice();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

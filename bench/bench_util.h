@@ -1,0 +1,34 @@
+// Shared helpers for the bench mains: the --skip-tables flag (strip
+// it before benchmark::Initialize sees argv) and the fast-path
+// MeasureOptions every Monte-Carlo sweep uses.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "harness/measure.h"
+
+namespace crp::bench {
+
+/// Strips --skip-tables from argv and returns true when the
+/// reproduction tables should print (i.e. the flag was absent).
+inline bool consume_skip_tables(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--skip-tables") {
+      // Shift including argv[argc], preserving the NULL sentinel.
+      for (int j = i; j < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Fast path for the Monte-Carlo sweeps: analytic no-CD engine, all
+/// hardware threads (statistics match the seed serial loop up to
+/// Monte-Carlo noise; see tests/batch_engine_test.cpp).
+inline harness::MeasureOptions fast(std::size_t max_rounds) {
+  return harness::MeasureOptions{.max_rounds = max_rounds};
+}
+
+}  // namespace crp::bench

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs every reproduction bench and records the google-benchmark
+# timings as BENCH_<name>.json (--benchmark_out_format=json), so the
+# repo's perf trajectory is tracked PR over PR. Console output (the
+# reproduction tables plus human-readable timings) is teed to
+# BENCH_<name>.log in the same directory.
+#
+# Usage: bench/run_benches.sh [--quick] [BUILD_DIR] [OUT_DIR]
+#   --quick    skip the reproduction tables and shorten benchmark
+#              repetitions (CI smoke mode)
+#   BUILD_DIR  defaults to build
+#   OUT_DIR    defaults to bench/results
+set -euo pipefail
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+  quick=1
+  shift
+fi
+build_dir=${1:-build}
+out_dir=${2:-bench/results}
+mkdir -p "$out_dir"
+
+extra=()
+if [[ $quick -eq 1 ]]; then
+  extra+=(--skip-tables --benchmark_min_time=0.01)
+fi
+
+for name in table1 table2 baselines divergence profiles coding; do
+  bin="$build_dir/bench_$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "skipping bench_$name: $bin not built" >&2
+    continue
+  fi
+  echo "== bench_$name =="
+  "$bin" ${extra[@]+"${extra[@]}"} \
+    --benchmark_out="$out_dir/BENCH_$name.json" \
+    --benchmark_out_format=json \
+    | tee "$out_dir/BENCH_$name.log"
+done

@@ -74,10 +74,12 @@ int main() {
 
     const crp::core::LikelihoodOrderedSchedule schedule(model);
     constexpr std::size_t trials = 4000;
+    // Fast path: analytic batch engine across all hardware threads.
+    const crp::harness::MeasureOptions fast{.max_rounds = 1 << 14};
     const auto m_pred = crp::harness::measure_uniform_no_cd(
-        schedule, truth, trials, /*seed=*/11, 1 << 14);
+        schedule, truth, trials, /*seed=*/11, fast);
     const auto m_decay = crp::harness::measure_uniform_no_cd(
-        decay, truth, trials, /*seed=*/11, 1 << 14);
+        decay, truth, trials, /*seed=*/11, fast);
 
     table.add_row(
         {session.name,

@@ -9,6 +9,7 @@
 // Usage:
 //   crp_sim [--n N] [--dist SPEC] [--algo SPEC] [--trials T]
 //           [--seed S] [--max-rounds R] [--csv]
+//           [--threads T] [--engine E]
 //
 //   --dist  uniform              uniform over sizes {2..n}   (default)
 //           point:K              all mass on size K
@@ -22,6 +23,11 @@
 //           likelihood-prop      Sec 2.5 with proportional cycling
 //           coded                Sec 2.6, prediction = the true dist
 //   (default: run ALL algorithms and print a comparison table)
+//   --threads  worker threads (0 = all hardware threads, default;
+//              1 = serial). Results are identical at any thread count.
+//   --engine   no-CD simulation engine: batch (analytic fast path,
+//              default) | binomial | per-player. Engines agree up to
+//              Monte-Carlo noise; see src/channel/batch.h.
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -49,6 +55,8 @@ struct Options {
   std::uint64_t seed = 1;
   std::size_t max_rounds = 1 << 16;
   bool csv = false;
+  std::size_t threads = 0;
+  std::string engine = "batch";
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -80,6 +88,10 @@ Options parse_args(int argc, char** argv) {
       options.max_rounds = std::stoull(next());
     } else if (arg == "--csv") {
       options.csv = true;
+    } else if (arg == "--threads") {
+      options.threads = std::stoull(next());
+    } else if (arg == "--engine") {
+      options.engine = next();
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "see the header comment of examples/crp_sim.cpp\n";
       std::exit(0);
@@ -131,10 +143,27 @@ struct AlgoResult {
   crp::harness::Measurement measurement;
 };
 
+crp::harness::MeasureOptions measure_options(const Options& options) {
+  crp::harness::NoCdEngine engine = crp::harness::NoCdEngine::kBatch;
+  if (options.engine == "batch") {
+    engine = crp::harness::NoCdEngine::kBatch;
+  } else if (options.engine == "binomial") {
+    engine = crp::harness::NoCdEngine::kBinomial;
+  } else if (options.engine == "per-player") {
+    engine = crp::harness::NoCdEngine::kPerPlayer;
+  } else {
+    usage_error("unknown engine " + options.engine);
+  }
+  return crp::harness::MeasureOptions{.max_rounds = options.max_rounds,
+                                      .threads = options.threads,
+                                      .engine = engine};
+}
+
 std::vector<AlgoResult> run_algorithms(const Options& options,
                                        const crp::info::SizeDistribution&
                                            actual) {
   const auto condensed = actual.condense();
+  const auto measure = measure_options(options);
   std::vector<AlgoResult> results;
   const auto want = [&](const std::string& name) {
     return options.algo == "all" || split_spec(options.algo).first == name;
@@ -145,7 +174,7 @@ std::vector<AlgoResult> run_algorithms(const Options& options,
     results.push_back({"decay", "no CD",
                        crp::harness::measure_uniform_no_cd(
                            schedule, actual, options.trials, options.seed,
-                           options.max_rounds)});
+                           measure)});
   }
   if (want("fixed")) {
     const auto [_, args] = split_spec(options.algo);
@@ -158,14 +187,14 @@ std::vector<AlgoResult> run_algorithms(const Options& options,
     results.push_back({"fixed 1/" + std::to_string(k_hat), "no CD",
                        crp::harness::measure_uniform_no_cd(
                            schedule, actual, options.trials, options.seed,
-                           options.max_rounds)});
+                           measure)});
   }
   if (want("likelihood")) {
     const crp::core::LikelihoodOrderedSchedule schedule(condensed);
     results.push_back({"likelihood-ordered", "no CD",
                        crp::harness::measure_uniform_no_cd(
                            schedule, actual, options.trials, options.seed,
-                           options.max_rounds)});
+                           measure)});
   }
   if (want("likelihood-prop")) {
     const crp::core::LikelihoodOrderedSchedule schedule(
@@ -173,21 +202,21 @@ std::vector<AlgoResult> run_algorithms(const Options& options,
     results.push_back({"likelihood-proportional", "no CD",
                        crp::harness::measure_uniform_no_cd(
                            schedule, actual, options.trials, options.seed,
-                           options.max_rounds)});
+                           measure)});
   }
   if (want("willard")) {
     const crp::baselines::WillardPolicy policy(options.n);
     results.push_back({"willard", "CD",
                        crp::harness::measure_uniform_cd(
                            policy, actual, options.trials, options.seed,
-                           options.max_rounds)});
+                           measure)});
   }
   if (want("coded")) {
     const crp::core::CodedSearchPolicy policy(condensed);
     results.push_back({"coded-search", "CD",
                        crp::harness::measure_uniform_cd(
                            policy, actual, options.trials, options.seed,
-                           options.max_rounds)});
+                           measure)});
   }
   if (results.empty()) {
     usage_error("unknown algorithm " + options.algo);

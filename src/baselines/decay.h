@@ -18,6 +18,7 @@ class DecaySchedule final : public channel::ProbabilitySchedule {
   explicit DecaySchedule(std::size_t n);
 
   double probability(std::size_t round) const override;
+  std::size_t period() const override { return sweep_length_; }
   std::string name() const override { return "decay"; }
 
   /// Rounds per sweep: ceil(log2 n) + 1.
@@ -35,6 +36,7 @@ class ReverseDecaySchedule final : public channel::ProbabilitySchedule {
   explicit ReverseDecaySchedule(std::size_t n);
 
   double probability(std::size_t round) const override;
+  std::size_t period() const override { return sweep_length_; }
   std::string name() const override { return "reverse-decay"; }
 
  private:

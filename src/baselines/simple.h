@@ -23,6 +23,7 @@ class FixedProbabilitySchedule final : public channel::ProbabilitySchedule {
   static FixedProbabilitySchedule for_size_estimate(std::size_t k_hat);
 
   double probability(std::size_t round) const override;
+  std::size_t period() const override { return 1; }
   std::string name() const override { return "fixed-probability"; }
 
  private:

@@ -1,0 +1,125 @@
+// Analytic fast-path engine for uniform no-collision-detection runs.
+//
+// For a fixed participant count k the rounds of a no-CD schedule are
+// independent: round r succeeds with probability
+//     s_r = k p_r (1 - p_r)^{k-1},
+// so the solving round has an explicit distribution with log-survival
+//     LS(r) = sum_{j<r} log(1 - s_j),
+// and one execution can be *sampled* — not simulated — by drawing
+// u ~ Uniform(0, 1] and inverting the CDF: the solve round is the
+// smallest r with LS(r) < log u. This replaces the per-round loop of
+// channel/simulator.h (one virtual probability() call plus one binomial
+// draw per round) with a single O(log) binary search per trial.
+//
+// The sampler tabulates each schedule once per configuration:
+//  * probabilities p_r are fetched through the virtual interface once
+//    and cached (for cycling schedules — see ProbabilitySchedule::
+//    period() — only one period is stored and indexed modulo);
+//  * per participant count k, the log-survival prefix sums are built
+//    once and shared by every subsequent trial with that k.
+// Caches are guarded by a shared mutex, so one sampler can serve the
+// thread-pool harness (harness/parallel.h) concurrently.
+//
+// The engine is *statistically* identical to run_uniform_no_cd — same
+// distribution of (solved, rounds) — but consumes randomness
+// differently, so individual executions at a fixed seed differ.
+// tests/batch_engine_test.cpp cross-validates the distributions against
+// the binomial and per-player engines and the exact profiles of
+// harness/exact.h.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "channel/protocol.h"
+#include "channel/rng.h"
+#include "channel/simulator.h"
+
+namespace crp::channel {
+
+/// Knobs for the analytic engine.
+struct BatchOptions {
+  /// Hard stop: executions longer than this are reported unsolved.
+  std::size_t max_rounds = 1 << 20;
+  /// When true, RunResult::transmissions is sampled exactly via
+  /// conditional binomial draws (Binomial(k, p_j) conditioned on not
+  /// being the single success) for every pre-success round — O(solve
+  /// round) per trial. When false (the default) transmissions is
+  /// reported as 0 and sampling stays O(log max_rounds).
+  bool sample_transmissions = false;
+  /// When non-null the engine falls back to the exact per-round
+  /// simulator so every round can be recorded; results are then
+  /// bit-identical to run_uniform_no_cd at the same rng state.
+  ExecutionTrace* trace = nullptr;
+};
+
+/// Samples uniform no-CD executions analytically. Bind one sampler per
+/// schedule and reuse it across trials (and threads): the schedule and
+/// per-k tables are tabulated once, on first use.
+class BatchNoCdSampler {
+ public:
+  /// The schedule must outlive the sampler. Schedules advertising a
+  /// positive period() get O(period) tables regardless of max_rounds;
+  /// aperiodic schedules are tabulated lazily up to the largest round
+  /// any trial has needed so far.
+  explicit BatchNoCdSampler(const ProbabilitySchedule& schedule);
+
+  BatchNoCdSampler(const BatchNoCdSampler&) = delete;
+  BatchNoCdSampler& operator=(const BatchNoCdSampler&) = delete;
+
+  /// Samples one execution outcome for k >= 1 participants. Thread-safe.
+  RunResult sample(std::size_t k, std::mt19937_64& rng,
+                   const BatchOptions& options = {}) const;
+
+  /// Analytic-only fast variant for the lightweight per-trial engine:
+  /// no trace, no energy reconstruction — one uniform draw, one
+  /// inverse-CDF lookup. The measurement helpers use this; it prices a
+  /// whole trial at nanoseconds instead of the microseconds a
+  /// mt19937_64 stream costs to seed. Thread-safe.
+  RunResult sample(std::size_t k, SplitMix64& rng,
+                   std::size_t max_rounds = 1 << 20) const;
+
+  /// Inverse-CDF core shared by both sample() overloads: the 1-based
+  /// solve round for the uniform draw u in [0, 1), or 0 when the
+  /// execution outlives `max_rounds`. Exposed for tests.
+  std::size_t solve_round(std::size_t k, double u,
+                          std::size_t max_rounds) const;
+
+  /// The tabulated per-round probability (exposed for tests).
+  double probability(std::size_t round) const;
+
+ private:
+  // Immutable once built: log_survival[r] = LS(r) over rounds [0, r),
+  // non-increasing, log_survival[0] = 0. For periodic schedules the
+  // table spans exactly one period; aperiodic tables span the rounds
+  // tabulated so far and are replaced by extended copies on growth.
+  struct SolveTable {
+    std::vector<double> log_survival;
+  };
+
+  std::shared_ptr<const SolveTable> table_for(std::size_t k,
+                                              double target,
+                                              std::size_t max_rounds) const;
+
+  const ProbabilitySchedule& schedule_;
+  const std::size_t period_;  // 0 = aperiodic
+
+  mutable std::shared_mutex mutex_;
+  // p_r for rounds [0, period_) (immutable after construction) or for
+  // the tabulated prefix of an aperiodic schedule (grows under mutex_).
+  mutable std::vector<double> probabilities_;
+  mutable std::unordered_map<std::size_t, std::shared_ptr<const SolveTable>>
+      tables_;  // keyed by participant count k
+};
+
+/// One-shot convenience wrapper; prefer holding a BatchNoCdSampler when
+/// running many trials so the tables amortize.
+RunResult run_uniform_no_cd_batch(const ProbabilitySchedule& schedule,
+                                  std::size_t k, std::mt19937_64& rng,
+                                  const BatchOptions& options = {});
+
+}  // namespace crp::channel

@@ -39,6 +39,14 @@ class ProbabilitySchedule {
   /// Transmission probability for 0-based round index; must be in [0, 1].
   virtual double probability(std::size_t round) const = 0;
 
+  /// Optional cycling hint: when positive, the schedule promises
+  /// probability(r) == probability(r % period()) for every round r, so
+  /// analysis engines (harness/exact.h, channel/batch.h) may tabulate a
+  /// single period and index modulo instead of calling the virtual
+  /// probability() once per round per execution. Zero (the default)
+  /// promises no structure.
+  virtual std::size_t period() const { return 0; }
+
   /// Diagnostic name, e.g. "decay" or "likelihood-ordered".
   virtual std::string name() const = 0;
 };

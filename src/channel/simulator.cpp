@@ -22,15 +22,34 @@ Feedback feedback_for(std::size_t transmitters) {
   return Feedback::kCollision;
 }
 
-std::size_t sample_transmitters(std::size_t k, double p,
-                                std::mt19937_64& rng) {
-  if (p < 0.0 || p > 1.0) {
+void validate_probability(double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
     throw std::invalid_argument("transmission probability outside [0, 1]");
   }
+}
+
+std::size_t sample_transmitters(std::size_t k, double p,
+                                std::mt19937_64& rng) {
+  validate_probability(p);
   if (k == 0 || p == 0.0) return 0;
   if (p == 1.0) return k;
   std::binomial_distribution<std::size_t> binomial(k, p);
   return binomial(rng);
+}
+
+std::size_t TransmitterSampler::operator()(double p, std::mt19937_64& rng) {
+  for (auto& [probability, binomial] : cache_) {
+    if (probability == p) return binomial(rng);
+  }
+  validate_probability(p);
+  if (k_ == 0 || p == 0.0) return 0;
+  if (p == 1.0) return k_;
+  if (cache_.size() == kMaxCachedProbabilities) {
+    std::binomial_distribution<std::size_t> binomial(k_, p);
+    return binomial(rng);
+  }
+  cache_.emplace_back(p, std::binomial_distribution<std::size_t>(k_, p));
+  return cache_.back().second(rng);
 }
 
 namespace {
@@ -48,10 +67,11 @@ RunResult run_uniform_no_cd(const ProbabilitySchedule& schedule,
                             std::size_t k, std::mt19937_64& rng,
                             const SimOptions& options) {
   if (k == 0) throw std::invalid_argument("need at least one participant");
+  TransmitterSampler sample(k);
   std::size_t energy = 0;
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     const double p = schedule.probability(round);
-    const std::size_t transmitters = sample_transmitters(k, p, rng);
+    const std::size_t transmitters = sample(p, rng);
     energy += transmitters;
     record(options, p, transmitters);
     if (transmitters == 1) {
@@ -64,12 +84,13 @@ RunResult run_uniform_no_cd(const ProbabilitySchedule& schedule,
 RunResult run_uniform_cd(const CollisionPolicy& policy, std::size_t k,
                          std::mt19937_64& rng, const SimOptions& options) {
   if (k == 0) throw std::invalid_argument("need at least one participant");
+  TransmitterSampler sample(k);
   BitString history;
   history.reserve(64);
   std::size_t energy = 0;
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     const double p = policy.probability(history);
-    const std::size_t transmitters = sample_transmitters(k, p, rng);
+    const std::size_t transmitters = sample(p, rng);
     energy += transmitters;
     record(options, p, transmitters);
     if (transmitters == 1) {
@@ -121,9 +142,7 @@ RunResult run_uniform_no_cd_per_player(const ProbabilitySchedule& schedule,
   std::size_t energy = 0;
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     const double p = schedule.probability(round);
-    if (p < 0.0 || p > 1.0) {
-      throw std::invalid_argument("transmission probability outside [0, 1]");
-    }
+    validate_probability(p);
     std::size_t transmitters = 0;
     std::optional<std::size_t> sole;
     for (std::size_t id = 0; id < k; ++id) {

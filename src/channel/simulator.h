@@ -82,10 +82,40 @@ RunResult run_uniform_no_cd_per_player(const ProbabilitySchedule& schedule,
                                        std::size_t k, std::mt19937_64& rng,
                                        const SimOptions& options = {});
 
+/// Throws std::invalid_argument unless p lies in [0, 1]. The one
+/// validation path shared by every engine (binomial, per-player, and
+/// the analytic fast path in channel/batch.h).
+void validate_probability(double p);
+
 /// Samples the number of transmitters among k players transmitting
-/// independently with probability p (exposed for tests).
+/// independently with probability p (exposed for tests). Validates p
+/// and constructs a fresh distribution on every call; the simulation
+/// loops use TransmitterSampler instead.
 std::size_t sample_transmitters(std::size_t k, double p,
                                 std::mt19937_64& rng);
+
+/// Binomial(k, p) transmitter counts for a fixed k, reusing the
+/// configured std::binomial_distribution across calls with the same p.
+/// Cycling schedules revisit a small set of probabilities, so the
+/// per-round distribution construction (and re-validation of p) is paid
+/// once per distinct probability instead of once per round.
+class TransmitterSampler {
+ public:
+  explicit TransmitterSampler(std::size_t k) : k_(k) {}
+
+  /// Number of transmitters among the k players when each transmits
+  /// independently with probability p.
+  std::size_t operator()(double p, std::mt19937_64& rng);
+
+ private:
+  /// Adversarial CD policies may emit unboundedly many distinct
+  /// probabilities; past this many the sampler stops caching.
+  static constexpr std::size_t kMaxCachedProbabilities = 64;
+
+  std::size_t k_;
+  std::vector<std::pair<double, std::binomial_distribution<std::size_t>>>
+      cache_;
+};
 
 /// Maps a transmitter count to channel feedback.
 Feedback feedback_for(std::size_t transmitters);

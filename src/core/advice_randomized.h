@@ -33,6 +33,7 @@ class TruncatedDecaySchedule final : public channel::ProbabilitySchedule {
                                   std::vector<std::size_t> fallback = {});
 
   double probability(std::size_t round) const override;
+  std::size_t period() const override { return period_; }
   std::string name() const override { return "truncated-decay"; }
 
   std::size_t sweep_length() const { return ranges_.size(); }

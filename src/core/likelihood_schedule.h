@@ -41,6 +41,7 @@ class LikelihoodOrderedSchedule final : public channel::ProbabilitySchedule {
       CycleMode mode = CycleMode::kRepeatPass);
 
   double probability(std::size_t round) const override;
+  std::size_t period() const override { return schedule_.size(); }
   std::string name() const override { return "likelihood-ordered"; }
 
   /// The likelihood ordering pi (1-based range indices).

@@ -3,9 +3,90 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "channel/batch.h"
 #include "channel/rng.h"
+#include "harness/parallel.h"
 
 namespace crp::harness {
+
+namespace {
+
+/// Legacy entry points (plain max_rounds) keep the seed behavior:
+/// serial execution, exact binomial engine.
+MeasureOptions legacy_options(std::size_t max_rounds) {
+  return MeasureOptions{
+      .max_rounds = max_rounds, .threads = 1, .engine = NoCdEngine::kBinomial};
+}
+
+/// Serial vs thread-pool dispatch (the two are bit-identical).
+Measurement run_trials(const Trial& trial, std::size_t trials,
+                       std::uint64_t seed, std::size_t threads) {
+  return threads == 1 ? measure(trial, trials, seed)
+                      : measure_parallel(trial, trials, seed, threads);
+}
+
+/// The batch-engine measurement loop. Does not route through Trial:
+/// each trial derives a lightweight SplitMix64 stream (seeding a
+/// mt19937_64 costs microseconds — more than the analytic sampling
+/// itself) and spends one draw on the participant count and one on the
+/// inverse-CDF solve round. Bit-identical across thread counts.
+Measurement measure_batch(
+    const channel::BatchNoCdSampler& sampler,
+    const std::function<std::size_t(channel::SplitMix64&)>& draw_k,
+    std::size_t trials, std::uint64_t seed, const MeasureOptions& options) {
+  std::vector<channel::RunResult> runs(trials);
+  parallel_trials(trials, options.threads, [&](std::size_t t) {
+    auto rng = channel::derive_fast_rng(seed, t);
+    const std::size_t k = draw_k(rng);
+    runs[t] = sampler.sample(k, rng, options.max_rounds);
+  });
+  return measurement_from_runs(runs);
+}
+
+/// Engine dispatch shared by the drawn-k and fixed-k no-CD helpers:
+/// the batch engine gets the lightweight-stream loop, the exact
+/// engines route through the Trial interface.
+Measurement measure_no_cd_dispatch(
+    const channel::ProbabilitySchedule& schedule,
+    const std::function<std::size_t(channel::SplitMix64&)>& draw_k_fast,
+    const std::function<std::size_t(std::mt19937_64&)>& draw_k,
+    std::size_t trials, std::uint64_t seed, const MeasureOptions& options) {
+  if (options.engine == NoCdEngine::kBatch) {
+    const channel::BatchNoCdSampler sampler(schedule);
+    return measure_batch(sampler, draw_k_fast, trials, seed, options);
+  }
+  return run_trials(
+      [&](std::size_t, std::mt19937_64& rng) {
+        const std::size_t k = draw_k(rng);
+        return options.engine == NoCdEngine::kPerPlayer
+                   ? channel::run_uniform_no_cd_per_player(
+                         schedule, k, rng, {.max_rounds = options.max_rounds})
+                   : channel::run_uniform_no_cd(
+                         schedule, k, rng, {.max_rounds = options.max_rounds});
+      },
+      trials, seed, options.threads);
+}
+
+}  // namespace
+
+Measurement measurement_from_runs(std::span<const channel::RunResult> runs) {
+  Measurement result;
+  result.trials = runs.size();
+  result.samples.reserve(runs.size());
+  std::size_t solved = 0;
+  for (const auto& run : runs) {
+    if (run.solved) {
+      ++solved;
+      result.samples.push_back(static_cast<double>(run.rounds));
+    }
+  }
+  result.success_rate =
+      runs.empty() ? 0.0
+                   : static_cast<double>(solved) /
+                         static_cast<double>(runs.size());
+  result.rounds = summarize(result.samples);
+  return result;
+}
 
 double Measurement::solved_within(double budget) const {
   if (trials == 0) return 0.0;
@@ -40,49 +121,78 @@ Measurement measure_uniform_no_cd(const channel::ProbabilitySchedule& schedule,
                                   const info::SizeDistribution& actual,
                                   std::size_t trials, std::uint64_t seed,
                                   std::size_t max_rounds) {
-  return measure(
-      [&](std::size_t, std::mt19937_64& rng) {
-        const std::size_t k = actual.sample(rng);
-        return channel::run_uniform_no_cd(schedule, k, rng,
-                                          {.max_rounds = max_rounds});
+  return measure_uniform_no_cd(schedule, actual, trials, seed,
+                               legacy_options(max_rounds));
+}
+
+Measurement measure_uniform_no_cd(const channel::ProbabilitySchedule& schedule,
+                                  const info::SizeDistribution& actual,
+                                  std::size_t trials, std::uint64_t seed,
+                                  const MeasureOptions& options) {
+  return measure_no_cd_dispatch(
+      schedule,
+      [&actual](channel::SplitMix64& rng) {
+        std::uniform_real_distribution<double> unit(0.0, 1.0);
+        return actual.sample_at(unit(rng));
       },
-      trials, seed);
+      [&actual](std::mt19937_64& rng) { return actual.sample(rng); },
+      trials, seed, options);
 }
 
 Measurement measure_uniform_cd(const channel::CollisionPolicy& policy,
                                const info::SizeDistribution& actual,
                                std::size_t trials, std::uint64_t seed,
                                std::size_t max_rounds) {
-  return measure(
+  return measure_uniform_cd(policy, actual, trials, seed,
+                            legacy_options(max_rounds));
+}
+
+Measurement measure_uniform_cd(const channel::CollisionPolicy& policy,
+                               const info::SizeDistribution& actual,
+                               std::size_t trials, std::uint64_t seed,
+                               const MeasureOptions& options) {
+  return run_trials(
       [&](std::size_t, std::mt19937_64& rng) {
         const std::size_t k = actual.sample(rng);
         return channel::run_uniform_cd(policy, k, rng,
-                                       {.max_rounds = max_rounds});
+                                       {.max_rounds = options.max_rounds});
       },
-      trials, seed);
+      trials, seed, options.threads);
 }
 
 Measurement measure_uniform_no_cd_fixed_k(
     const channel::ProbabilitySchedule& schedule, std::size_t k,
     std::size_t trials, std::uint64_t seed, std::size_t max_rounds) {
-  return measure(
-      [&](std::size_t, std::mt19937_64& rng) {
-        return channel::run_uniform_no_cd(schedule, k, rng,
-                                          {.max_rounds = max_rounds});
-      },
-      trials, seed);
+  return measure_uniform_no_cd_fixed_k(schedule, k, trials, seed,
+                                       legacy_options(max_rounds));
+}
+
+Measurement measure_uniform_no_cd_fixed_k(
+    const channel::ProbabilitySchedule& schedule, std::size_t k,
+    std::size_t trials, std::uint64_t seed, const MeasureOptions& options) {
+  return measure_no_cd_dispatch(
+      schedule, [k](channel::SplitMix64&) { return k; },
+      [k](std::mt19937_64&) { return k; }, trials, seed, options);
 }
 
 Measurement measure_uniform_cd_fixed_k(const channel::CollisionPolicy& policy,
                                        std::size_t k, std::size_t trials,
                                        std::uint64_t seed,
                                        std::size_t max_rounds) {
-  return measure(
+  return measure_uniform_cd_fixed_k(policy, k, trials, seed,
+                                    legacy_options(max_rounds));
+}
+
+Measurement measure_uniform_cd_fixed_k(const channel::CollisionPolicy& policy,
+                                       std::size_t k, std::size_t trials,
+                                       std::uint64_t seed,
+                                       const MeasureOptions& options) {
+  return run_trials(
       [&](std::size_t, std::mt19937_64& rng) {
         return channel::run_uniform_cd(policy, k, rng,
-                                       {.max_rounds = max_rounds});
+                                       {.max_rounds = options.max_rounds});
       },
-      trials, seed);
+      trials, seed, options.threads);
 }
 
 std::vector<std::size_t> random_participant_set(std::size_t n, std::size_t k,
@@ -104,16 +214,26 @@ Measurement measure_deterministic_advice(
     const core::AdviceFunction& advice, const info::SizeDistribution& actual,
     std::size_t n, bool collision_detection, std::size_t trials,
     std::uint64_t seed, std::size_t max_rounds) {
-  return measure(
+  return measure_deterministic_advice(protocol, advice, actual, n,
+                                      collision_detection, trials, seed,
+                                      legacy_options(max_rounds));
+}
+
+Measurement measure_deterministic_advice(
+    const channel::DeterministicProtocol& protocol,
+    const core::AdviceFunction& advice, const info::SizeDistribution& actual,
+    std::size_t n, bool collision_detection, std::size_t trials,
+    std::uint64_t seed, const MeasureOptions& options) {
+  return run_trials(
       [&](std::size_t, std::mt19937_64& rng) {
         const std::size_t k = actual.sample(rng);
         const auto participants = random_participant_set(n, k, rng);
         const auto bits = advice.advise(participants);
         return channel::run_deterministic(protocol, bits, participants,
                                           collision_detection,
-                                          {.max_rounds = max_rounds});
+                                          {.max_rounds = options.max_rounds});
       },
-      trials, seed);
+      trials, seed, options.threads);
 }
 
 double worst_case_deterministic_rounds(

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "channel/protocol.h"
@@ -36,32 +37,75 @@ using Trial = std::function<channel::RunResult(std::size_t trial_index,
                                                std::mt19937_64& rng)>;
 
 /// Runs `trials` independent trials, deriving one RNG stream per trial
-/// from `seed` (replayable regardless of execution order).
+/// from `seed` (replayable regardless of execution order). Serial; see
+/// harness/parallel.h for the bit-identical thread-pool drop-in.
 Measurement measure(const Trial& trial, std::size_t trials,
                     std::uint64_t seed);
+
+/// Folds per-trial outcomes (already in trial order) into a
+/// Measurement — exactly the aggregation the serial measure() loop
+/// performs, shared by the thread-pool and batch measurement paths.
+Measurement measurement_from_runs(std::span<const channel::RunResult> runs);
+
+/// Which engine simulates a uniform no-CD trial.
+enum class NoCdEngine {
+  kBinomial,   ///< exact per-round loop, one binomial draw per round
+  kPerPlayer,  ///< exact per-round loop, one coin per player per round
+  kBatch,      ///< analytic inverse-CDF sampling (channel/batch.h)
+};
+
+/// Execution knobs for the measure_* helpers. The defaults select the
+/// fast path: the analytic engine where one applies and every hardware
+/// thread; the measured statistics are engine- and thread-count-
+/// independent (up to Monte-Carlo noise for the engine choice, exactly
+/// for the thread count).
+struct MeasureOptions {
+  std::size_t max_rounds = 1 << 20;
+  /// Worker threads: 1 = serial, 0 = all hardware threads.
+  std::size_t threads = 0;
+  /// Engine used by the uniform no-CD helpers (others ignore it; CD
+  /// and deterministic executions are history-dependent, so no
+  /// analytic path exists for them).
+  NoCdEngine engine = NoCdEngine::kBatch;
+};
 
 /// Uniform no-CD algorithm vs. sizes drawn from `actual`.
 Measurement measure_uniform_no_cd(const channel::ProbabilitySchedule& schedule,
                                   const info::SizeDistribution& actual,
                                   std::size_t trials, std::uint64_t seed,
                                   std::size_t max_rounds = 1 << 20);
+Measurement measure_uniform_no_cd(const channel::ProbabilitySchedule& schedule,
+                                  const info::SizeDistribution& actual,
+                                  std::size_t trials, std::uint64_t seed,
+                                  const MeasureOptions& options);
 
 /// Uniform CD algorithm vs. sizes drawn from `actual`.
 Measurement measure_uniform_cd(const channel::CollisionPolicy& policy,
                                const info::SizeDistribution& actual,
                                std::size_t trials, std::uint64_t seed,
                                std::size_t max_rounds = 1 << 20);
+Measurement measure_uniform_cd(const channel::CollisionPolicy& policy,
+                               const info::SizeDistribution& actual,
+                               std::size_t trials, std::uint64_t seed,
+                               const MeasureOptions& options);
 
 /// Uniform no-CD algorithm with the participant count fixed to k.
 Measurement measure_uniform_no_cd_fixed_k(
     const channel::ProbabilitySchedule& schedule, std::size_t k,
     std::size_t trials, std::uint64_t seed, std::size_t max_rounds = 1 << 20);
+Measurement measure_uniform_no_cd_fixed_k(
+    const channel::ProbabilitySchedule& schedule, std::size_t k,
+    std::size_t trials, std::uint64_t seed, const MeasureOptions& options);
 
 /// Uniform CD algorithm with the participant count fixed to k.
 Measurement measure_uniform_cd_fixed_k(const channel::CollisionPolicy& policy,
                                        std::size_t k, std::size_t trials,
                                        std::uint64_t seed,
                                        std::size_t max_rounds = 1 << 20);
+Measurement measure_uniform_cd_fixed_k(const channel::CollisionPolicy& policy,
+                                       std::size_t k, std::size_t trials,
+                                       std::uint64_t seed,
+                                       const MeasureOptions& options);
 
 /// Draws a uniformly random k-subset of {0, ..., n-1}.
 std::vector<std::size_t> random_participant_set(std::size_t n, std::size_t k,
@@ -74,6 +118,11 @@ Measurement measure_deterministic_advice(
     const core::AdviceFunction& advice, const info::SizeDistribution& actual,
     std::size_t n, bool collision_detection, std::size_t trials,
     std::uint64_t seed, std::size_t max_rounds = 1 << 20);
+Measurement measure_deterministic_advice(
+    const channel::DeterministicProtocol& protocol,
+    const core::AdviceFunction& advice, const info::SizeDistribution& actual,
+    std::size_t n, bool collision_detection, std::size_t trials,
+    std::uint64_t seed, const MeasureOptions& options);
 
 /// Worst-case (maximum over participant sets) round count of a
 /// deterministic advice protocol at fixed k, approximated by `probes`

@@ -1,0 +1,65 @@
+#include "harness/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "channel/rng.h"
+
+namespace crp::harness {
+
+void parallel_trials(std::size_t trials, std::size_t threads,
+                     const std::function<void(std::size_t)>& fn) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<std::size_t>(trials, 1));
+  if (threads <= 1) {
+    for (std::size_t t = 0; t < trials; ++t) fn(t);
+    return;
+  }
+
+  // Workers claim fixed-size chunks of trial indices; chunking keeps
+  // the atomic counter off the per-trial hot path while still load
+  // balancing trials of wildly different lengths.
+  constexpr std::size_t kChunk = 32;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t begin = next.fetch_add(kChunk);
+      if (begin >= trials) return;
+      const std::size_t end = std::min(trials, begin + kChunk);
+      try {
+        for (std::size_t t = begin; t < end; ++t) fn(t);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  if (error) std::rethrow_exception(error);
+}
+
+Measurement measure_parallel(const Trial& trial, std::size_t trials,
+                             std::uint64_t seed, std::size_t threads) {
+  std::vector<channel::RunResult> results(trials);
+  parallel_trials(trials, threads, [&](std::size_t t) {
+    auto rng = channel::derive_rng(seed, t);
+    results[t] = trial(t, rng);
+  });
+  return measurement_from_runs(results);
+}
+
+}  // namespace crp::harness

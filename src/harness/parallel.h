@@ -1,0 +1,38 @@
+// Thread-pool Monte-Carlo measurement: a drop-in for measure() that
+// fans the trials across worker threads.
+//
+// Trials were already embarrassingly parallel — measure() derives one
+// independent, replayable RNG stream per trial index — so the pool just
+// claims chunks of trial indices, runs them, and writes results into a
+// per-trial slot. Samples are then assembled in trial order, exactly as
+// the serial loop would have, which makes the returned Measurement
+// bit-identical to measure() regardless of thread count or scheduling
+// (tests/parallel_measure_test.cpp pins this down).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "harness/measure.h"
+
+namespace crp::harness {
+
+/// Runs fn(t) for every trial index t in [0, trials) across `threads`
+/// workers (0 = all hardware threads; <= 1 runs inline on the calling
+/// thread). Workers claim chunks of consecutive indices, so fn must be
+/// safe to call concurrently on distinct t. The first exception thrown
+/// is rethrown on the caller's thread after the pool drains.
+void parallel_trials(std::size_t trials, std::size_t threads,
+                     const std::function<void(std::size_t)>& fn);
+
+/// Runs `trials` independent trials on `threads` workers (0 = all
+/// hardware threads; 1 falls back to the serial measure()). The trial
+/// callable must be safe to invoke concurrently: the library's
+/// schedules, policies, advice functions, and BatchNoCdSampler all are.
+/// The first exception thrown by a trial is rethrown on the caller's
+/// thread after the pool drains.
+Measurement measure_parallel(const Trial& trial, std::size_t trials,
+                             std::uint64_t seed, std::size_t threads = 0);
+
+}  // namespace crp::harness

@@ -34,13 +34,16 @@ std::vector<double> inclusive_prefix_sums(std::span<const double> probs) {
   return cumulative;
 }
 
-std::size_t sample_from_cumulative(const std::vector<double>& cumulative,
-                                   std::mt19937_64& rng) {
-  std::uniform_real_distribution<double> unit(0.0, 1.0);
-  const double u = unit(rng);
+std::size_t index_at(const std::vector<double>& cumulative, double u) {
   const auto it =
       std::lower_bound(cumulative.begin(), cumulative.end(), u);
   return static_cast<std::size_t>(std::distance(cumulative.begin(), it));
+}
+
+std::size_t sample_from_cumulative(const std::vector<double>& cumulative,
+                                   std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  return index_at(cumulative, unit(rng));
 }
 
 }  // namespace
@@ -136,6 +139,13 @@ CondensedDistribution SizeDistribution::condense() const {
 
 std::size_t SizeDistribution::sample(std::mt19937_64& rng) const {
   return sample_from_cumulative(cumulative_, rng);
+}
+
+std::size_t SizeDistribution::sample_at(double u) const {
+  if (!(u >= 0.0 && u < 1.0)) {
+    throw std::invalid_argument("uniform draw outside [0, 1)");
+  }
+  return index_at(cumulative_, u);
 }
 
 double SizeDistribution::mean() const {

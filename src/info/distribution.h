@@ -75,6 +75,11 @@ class SizeDistribution {
   /// Draws a size according to the distribution.
   std::size_t sample(std::mt19937_64& rng) const;
 
+  /// Inverse-CDF sampling from an externally supplied uniform draw
+  /// u in [0, 1) — lets callers bring their own engine (the batch
+  /// measurement fast path uses channel::SplitMix64 streams).
+  std::size_t sample_at(double u) const;
+
   /// Expected size E[X].
   double mean() const;
 

@@ -231,6 +231,32 @@ TEST(Engines, BinomialAndPerPlayerAgreeOnSuccessRate) {
   EXPECT_NEAR(mean_binomial, mean_players, 0.08 * mean_binomial);
 }
 
+TEST(Rng, FastStreamsAreReproducibleAndNotShiftedCopies) {
+  auto a = derive_fast_rng(42, 7);
+  auto b = derive_fast_rng(42, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  // Regression: SplitMix64 advances its state by the same golden-ratio
+  // increment derive_rng mixes with, so seeding streams at arithmetic
+  // offsets would make stream t a one-draw-shifted copy of stream
+  // t + 1, serially correlating consecutive batch trials. The
+  // finalizer mix must break that alignment.
+  for (std::uint64_t stream = 0; stream < 8; ++stream) {
+    auto ahead = derive_fast_rng(42, stream);
+    auto next = derive_fast_rng(42, stream + 1);
+    (void)ahead();  // advance stream `stream` by one draw
+    bool differs = false;
+    for (int i = 0; i < 4; ++i) {
+      if (ahead() != next()) {
+        differs = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(differs) << "stream " << stream;
+  }
+}
+
 TEST(Rng, DerivedStreamsAreReproducible) {
   auto a = derive_rng(42, 7);
   auto b = derive_rng(42, 7);

@@ -1,0 +1,114 @@
+// Determinism of the thread-pool harness: measure_parallel must
+// reproduce the serial measure() bit for bit at every thread count,
+// for synthetic trials and for real workloads (including the batch
+// engine, whose lazily built tables are shared across workers).
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "baselines/decay.h"
+#include "channel/batch.h"
+#include "channel/rng.h"
+#include "core/advice_deterministic.h"
+#include "harness/measure.h"
+#include "harness/parallel.h"
+#include "info/distribution.h"
+
+namespace crp::harness {
+namespace {
+
+void expect_identical(const Measurement& a, const Measurement& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.samples, b.samples);  // element-wise, in trial order
+  EXPECT_EQ(a.success_rate, b.success_rate);
+  EXPECT_EQ(a.rounds.count, b.rounds.count);
+  EXPECT_EQ(a.rounds.mean, b.rounds.mean);
+  EXPECT_EQ(a.rounds.stddev, b.rounds.stddev);
+  EXPECT_EQ(a.rounds.p50, b.rounds.p50);
+  EXPECT_EQ(a.rounds.p90, b.rounds.p90);
+  EXPECT_EQ(a.rounds.p99, b.rounds.p99);
+  EXPECT_EQ(a.rounds.min, b.rounds.min);
+  EXPECT_EQ(a.rounds.max, b.rounds.max);
+}
+
+TEST(MeasureParallel, BitIdenticalToSerialAtEveryThreadCount) {
+  const Trial trial = [](std::size_t, std::mt19937_64& rng) {
+    std::uniform_int_distribution<std::size_t> rounds(1, 500);
+    const std::size_t r = rounds(rng);
+    return channel::RunResult{r % 7 != 0, r, std::nullopt};
+  };
+  const auto serial = measure(trial, 3001, 42);
+  for (std::size_t threads : {1ul, 2ul, 8ul}) {
+    expect_identical(serial, measure_parallel(trial, 3001, 42, threads));
+  }
+}
+
+TEST(MeasureParallel, BatchEngineTrialsAreThreadCountInvariant) {
+  // The sampler's schedule and per-k tables are built lazily by
+  // whichever worker gets there first; results must not depend on the
+  // race outcome.
+  const baselines::DecaySchedule decay(1 << 10);
+  const channel::BatchNoCdSampler sampler(decay);
+  const auto sizes = info::SizeDistribution::uniform(1 << 10);
+  const Trial trial = [&](std::size_t, std::mt19937_64& rng) {
+    const std::size_t k = sizes.sample(rng);
+    return sampler.sample(k, rng, {.max_rounds = 1 << 14});
+  };
+  const auto serial = measure(trial, 4000, 7);
+  for (std::size_t threads : {2ul, 8ul}) {
+    expect_identical(serial, measure_parallel(trial, 4000, 7, threads));
+  }
+}
+
+TEST(MeasureParallel, MeasureHelpersMatchSerialHelpers) {
+  const baselines::DecaySchedule decay(1 << 10);
+  for (const auto engine :
+       {NoCdEngine::kBinomial, NoCdEngine::kBatch, NoCdEngine::kPerPlayer}) {
+    MeasureOptions serial_options{.max_rounds = 1 << 14, .threads = 1};
+    serial_options.engine = engine;
+    auto pooled_options = serial_options;
+    pooled_options.threads = 8;
+    const auto serial = measure_uniform_no_cd_fixed_k(decay, 200, 2500, 97,
+                                                      serial_options);
+    const auto pooled = measure_uniform_no_cd_fixed_k(decay, 200, 2500, 97,
+                                                      pooled_options);
+    expect_identical(serial, pooled);
+  }
+}
+
+TEST(MeasureParallel, DeterministicAdviceMatchesLegacySerialPath) {
+  constexpr std::size_t n = 1 << 8;
+  constexpr std::size_t b = 3;
+  const core::SubtreeScanProtocol scan(n, b);
+  const core::MinIdPrefixAdvice advice(n, b);
+  const auto sizes = info::SizeDistribution::uniform(32);
+  const auto legacy = measure_deterministic_advice(scan, advice, sizes, n,
+                                                   false, 800, 5, 8 * n);
+  const auto pooled = measure_deterministic_advice(
+      scan, advice, sizes, n, false, 800, 5,
+      MeasureOptions{.max_rounds = 8 * n, .threads = 8});
+  expect_identical(legacy, pooled);
+}
+
+TEST(MeasureParallel, HandlesDegenerateTrialCounts) {
+  const Trial trial = [](std::size_t, std::mt19937_64&) {
+    return channel::RunResult{true, 1, std::nullopt};
+  };
+  const auto none = measure_parallel(trial, 0, 1, 8);
+  EXPECT_EQ(none.trials, 0u);
+  EXPECT_EQ(none.samples.size(), 0u);
+  const auto one = measure_parallel(trial, 1, 1, 8);
+  EXPECT_EQ(one.trials, 1u);
+  EXPECT_EQ(one.samples.size(), 1u);
+}
+
+TEST(MeasureParallel, PropagatesTrialExceptions) {
+  const Trial trial = [](std::size_t t, std::mt19937_64&) {
+    if (t == 1234) throw std::runtime_error("boom");
+    return channel::RunResult{true, 1, std::nullopt};
+  };
+  EXPECT_THROW(measure_parallel(trial, 3000, 1, 4), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace crp::harness
