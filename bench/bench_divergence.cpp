@@ -16,6 +16,7 @@
 #include "core/likelihood_schedule.h"
 #include "harness/fit.h"
 #include "harness/measure.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 #include "info/distribution.h"
 #include "predict/families.h"
@@ -28,6 +29,23 @@ constexpr std::size_t kTrials = 6000;
 constexpr std::uint64_t kSeed = 271828;
 using crp::bench::fast;
 using crp::harness::fmt;
+
+/// One divergence point: the (possibly corrupted) prediction and the
+/// paper's two algorithms configured for it. Owned so sweep cells can
+/// reference the members by pointer.
+struct DivergencePoint {
+  DivergencePoint(const crp::info::CondensedDistribution& truth,
+                  crp::info::CondensedDistribution prediction_in)
+      : prediction(std::move(prediction_in)),
+        divergence(truth.kl_divergence(prediction)),
+        schedule(prediction),
+        policy(prediction) {}
+
+  crp::info::CondensedDistribution prediction;
+  double divergence;
+  crp::core::LikelihoodOrderedSchedule schedule;
+  crp::core::CodedSearchPolicy policy;
+};
 
 void print_divergence_sweep() {
   const std::size_t ranges = crp::info::num_ranges(kNetwork);
@@ -43,22 +61,36 @@ void print_divergence_sweep() {
   crp::harness::Table table({"D_KL(X||Y)", "2^(2H+2D) bound",
                              "noCD r@1/16", "noCD mean",
                              "(H+D)^2 bound", "CD mean"});
+
+  std::vector<DivergencePoint> points;
+  for (double t : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    points.emplace_back(truth,
+                        crp::predict::mix(truth, adversary, 1.0 - t));
+  }
+  crp::harness::SweepGrid grid;
+  for (const auto& point : points) {
+    const crp::harness::SweepSizes sizes{.name = "divergence-truth",
+                                         .distribution = &actual};
+    grid.add_cell({.algorithm = {.name = "likelihood",
+                                 .schedule = &point.schedule},
+                   .sizes = sizes,
+                   .max_rounds = 1 << 18});
+    grid.add_cell({.algorithm = {.name = "coded", .policy = &point.policy},
+                   .sizes = sizes,
+                   .max_rounds = 1 << 14});
+  }
+  const auto results = crp::harness::run_sweep(
+      grid.cells(), {.trials = kTrials, .seed = kSeed});
+
   std::vector<double> divergences;
   std::vector<double> nocd_means;
   std::vector<double> cd_means;
-  for (double t : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    const auto prediction = crp::predict::mix(truth, adversary, 1.0 - t);
-    const double d = truth.kl_divergence(prediction);
-
-    const crp::core::LikelihoodOrderedSchedule schedule(prediction);
-    const auto no_cd = crp::harness::measure_uniform_no_cd(
-        schedule, actual, kTrials, kSeed, fast(1 << 18));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d = points[i].divergence;
+    const auto& no_cd = results[2 * i].measurement;
+    const auto& cd = results[2 * i + 1].measurement;
     double r16 = 1.0;
     while (no_cd.solved_within(r16) < 1.0 / 16.0) r16 += 1.0;
-
-    const crp::core::CodedSearchPolicy policy(prediction);
-    const auto cd = crp::harness::measure_uniform_cd(
-        policy, actual, kTrials, kSeed + 1, fast(1 << 14));
 
     table.add_row({fmt(d, 3), fmt(std::exp2(2 * h + 2 * d), 1),
                    fmt(r16, 0), fmt(no_cd.rounds.mean, 2),
@@ -85,20 +117,34 @@ void print_bounded_factor_robustness() {
                "O(1)) ==\n";
   crp::harness::Table table(
       {"jitter factor c", "measured D_KL", "noCD mean", "vs exact"});
-  const crp::core::LikelihoodOrderedSchedule exact_schedule(truth);
-  const auto exact = crp::harness::measure_uniform_no_cd(
-      exact_schedule, actual, kTrials, kSeed + 2, fast(1 << 18));
-  for (double factor : {1.0, 1.5, 2.0, 4.0, 8.0}) {
+
+  // Exact prediction first, then one jittered prediction per factor;
+  // all share the workload, so the grid is exact-cell + factor cells.
+  const std::vector<double> factors{1.0, 1.5, 2.0, 4.0, 8.0};
+  std::vector<DivergencePoint> points;
+  points.emplace_back(truth, truth);
+  for (const double factor : factors) {
     auto rng = crp::channel::make_rng(kSeed + 7);
-    const auto prediction =
-        crp::predict::multiplicative_jitter(truth, factor, rng);
-    const crp::core::LikelihoodOrderedSchedule schedule(prediction);
-    const auto noisy = crp::harness::measure_uniform_no_cd(
-        schedule, actual, kTrials, kSeed + 2, fast(1 << 18));
-    table.add_row({fmt(factor, 1),
-                   fmt(truth.kl_divergence(prediction), 3),
+    points.emplace_back(
+        truth, crp::predict::multiplicative_jitter(truth, factor, rng));
+  }
+  crp::harness::SweepGrid grid;
+  for (const auto& point : points) {
+    grid.add_cell({.algorithm = {.name = "likelihood",
+                                 .schedule = &point.schedule},
+                   .sizes = {.name = "jitter-truth", .distribution = &actual},
+                   .max_rounds = 1 << 18});
+  }
+  const auto results = crp::harness::run_sweep(
+      grid.cells(), {.trials = kTrials, .seed = kSeed + 2});
+
+  const double exact_mean = results[0].measurement.rounds.mean;
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    const auto& noisy = results[i + 1].measurement;
+    table.add_row({fmt(factors[i], 1),
+                   fmt(points[i + 1].divergence, 3),
                    fmt(noisy.rounds.mean, 2),
-                   fmt(noisy.rounds.mean / exact.rounds.mean, 2) + "x"});
+                   fmt(noisy.rounds.mean / exact_mean, 2) + "x"});
   }
   table.print(std::cout);
   std::cout << '\n';
@@ -111,19 +157,34 @@ void print_learned_predictor() {
                "model sees more samples ==\n";
   crp::harness::Table table(
       {"training samples", "D_KL(X||Y)", "noCD mean", "CD mean"});
-  for (std::size_t samples : {0ul, 3ul, 10ul, 100ul, 10000ul}) {
+
+  const std::vector<std::size_t> sample_counts{0, 3, 10, 100, 10000};
+  std::vector<DivergencePoint> points;
+  for (const std::size_t samples : sample_counts) {
     auto rng = crp::channel::make_rng(kSeed + 11);
-    const auto prediction =
-        crp::predict::empirical_predictor(truth, samples, 0.5, rng);
-    const crp::core::LikelihoodOrderedSchedule schedule(prediction);
-    const crp::core::CodedSearchPolicy policy(prediction);
-    const auto no_cd = crp::harness::measure_uniform_no_cd(
-        schedule, truth, kTrials, kSeed + 3, fast(1 << 18));
-    const auto cd = crp::harness::measure_uniform_cd(
-        policy, truth, kTrials, kSeed + 4, fast(1 << 14));
-    table.add_row({fmt(samples),
-                   fmt(condensed_truth.kl_divergence(prediction), 3),
-                   fmt(no_cd.rounds.mean, 2), fmt(cd.rounds.mean, 2)});
+    points.emplace_back(
+        condensed_truth,
+        crp::predict::empirical_predictor(truth, samples, 0.5, rng));
+  }
+  crp::harness::SweepGrid grid;
+  for (const auto& point : points) {
+    const crp::harness::SweepSizes sizes{.name = "lognormal-truth",
+                                         .distribution = &truth};
+    grid.add_cell({.algorithm = {.name = "likelihood",
+                                 .schedule = &point.schedule},
+                   .sizes = sizes,
+                   .max_rounds = 1 << 18});
+    grid.add_cell({.algorithm = {.name = "coded", .policy = &point.policy},
+                   .sizes = sizes,
+                   .max_rounds = 1 << 14});
+  }
+  const auto results = crp::harness::run_sweep(
+      grid.cells(), {.trials = kTrials, .seed = kSeed + 3});
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    table.add_row({fmt(sample_counts[i]), fmt(points[i].divergence, 3),
+                   fmt(results[2 * i].measurement.rounds.mean, 2),
+                   fmt(results[2 * i + 1].measurement.rounds.mean, 2)});
   }
   table.print(std::cout);
   std::cout << '\n';

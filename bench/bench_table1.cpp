@@ -28,6 +28,7 @@
 #include "core/likelihood_schedule.h"
 #include "harness/fit.h"
 #include "harness/measure.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 #include "info/distribution.h"
 #include "predict/families.h"
@@ -52,36 +53,76 @@ MeasureOptions seed_path(std::size_t max_rounds) {
       .max_rounds = max_rounds, .threads = 1, .engine = NoCdEngine::kBinomial};
 }
 
+/// One Table 1 entropy point: the condensed source, its lifted actual
+/// distribution, and the paper's two algorithms configured for it.
+/// Owned here so sweep cells can reference them by pointer.
+struct EntropyPoint {
+  EntropyPoint(std::size_t ranges, std::size_t m, std::size_t n)
+      : condensed(crp::predict::uniform_over_ranges(ranges, m)),
+        actual(crp::predict::lift(
+            condensed, n, crp::predict::RangePlacement::kHighEndpoint)),
+        schedule(condensed),
+        policy(condensed),
+        h(condensed.entropy()) {}
+
+  crp::info::CondensedDistribution condensed;
+  crp::info::SizeDistribution actual;
+  crp::core::LikelihoodOrderedSchedule schedule;
+  crp::core::CodedSearchPolicy policy;
+  double h;
+};
+
+std::vector<EntropyPoint> entropy_points(std::size_t n) {
+  const std::size_t ranges = crp::info::num_ranges(n);
+  std::vector<EntropyPoint> points;
+  for (std::size_t m = 1; m <= ranges; m *= 2) {
+    points.emplace_back(ranges, m, n);
+  }
+  return points;
+}
+
+/// The Table 1 grid: per entropy point, the no-CD schedule and the CD
+/// policy paired with that point's lifted distribution (a diagonal
+/// sweep, so the cells are declared explicitly rather than crossed).
+crp::harness::SweepGrid upper_bound_grid(
+    const std::vector<EntropyPoint>& points) {
+  crp::harness::SweepGrid grid;
+  for (const auto& point : points) {
+    const crp::harness::SweepSizes sizes{
+        .name = "H=" + fmt(point.h, 2), .distribution = &point.actual};
+    grid.add_cell({.algorithm = {.name = "likelihood",
+                                 .schedule = &point.schedule},
+                   .sizes = sizes,
+                   .max_rounds = 1 << 18});
+    grid.add_cell({.algorithm = {.name = "coded", .policy = &point.policy},
+                   .sizes = sizes,
+                   .max_rounds = 1 << 14});
+  }
+  return grid;
+}
+
 void print_upper_bounds() {
-  const std::size_t ranges = crp::info::num_ranges(kNetwork);
+  const auto points = entropy_points(kNetwork);
   std::cout << "== Table 1 upper bounds (Y = X, n = " << kNetwork
             << ", trials = " << kTrials << ") ==\n";
+  const auto results = crp::harness::run_sweep(
+      upper_bound_grid(points), {.trials = kTrials, .seed = kSeed});
   crp::harness::Table table(
       {"H(c(X))", "2^2H bound", "noCD r@1/16", "noCD p90", "noCD mean",
        "H^2 bound", "CD r@const", "CD p90", "CD mean"});
   std::vector<double> h_values;
   std::vector<double> nocd_p90;
   std::vector<double> cd_mean;
-  for (std::size_t m = 1; m <= ranges; m *= 2) {
-    const auto condensed = crp::predict::uniform_over_ranges(ranges, m);
-    const auto actual = crp::predict::lift(
-        condensed, kNetwork, crp::predict::RangePlacement::kHighEndpoint);
-    const double h = condensed.entropy();
-
-    const crp::core::LikelihoodOrderedSchedule schedule(condensed);
-    const auto no_cd = crp::harness::measure_uniform_no_cd(
-        schedule, actual, kTrials, kSeed, fast(1 << 18));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double h = points[i].h;
+    const auto& no_cd = results[2 * i].measurement;
+    const auto& cd = results[2 * i + 1].measurement;
 
     // Smallest round budget at which >= 1/16 of one-shot executions
     // have succeeded (the Theorem 2.12 success criterion). The p90
     // column exposes the exponential tail growth the bound tracks.
     double r16 = 1.0;
     while (no_cd.solved_within(r16) < 1.0 / 16.0) r16 += 1.0;
-
-    const crp::core::CodedSearchPolicy policy(condensed);
-    const auto cd = crp::harness::measure_uniform_cd(policy, actual,
-                                                     kTrials, kSeed + 1,
-                                                     fast(1 << 14));
     double r_cd = 1.0;
     while (cd.solved_within(r_cd) < 0.25) r_cd += 1.0;
 
@@ -100,7 +141,6 @@ void print_upper_bounds() {
 }
 
 void print_lower_bounds() {
-  const std::size_t ranges = crp::info::num_ranges(kNetwork);
   const double loglog = std::log2(std::log2(double(kNetwork)));
   std::cout << "== Table 1 lower bounds (reduction chain, n = " << kNetwork
             << ") ==\n";
@@ -116,18 +156,33 @@ void print_lower_bounds() {
   const double lll =
       std::log2(std::log2(std::log2(double(kNetwork)))) + 1.0;
   const crp::rangefind::TreeTargetDistanceCode tree_code(tree, lll);
-  for (std::size_t m = 1; m <= ranges; m *= 2) {
-    const auto condensed = crp::predict::uniform_over_ranges(ranges, m);
-    const auto actual = crp::predict::lift(
-        condensed, kNetwork, crp::predict::RangePlacement::kHighEndpoint);
-    const double h = condensed.entropy();
-    const auto [seq_bits, seq_mass] = seq_code.expected_length(condensed);
+
+  // The baselines against every entropy point's lifted distribution:
+  // one grid, fixed algorithms crossed by hand with the per-point
+  // workloads.
+  const auto points = entropy_points(kNetwork);
+  crp::harness::SweepGrid grid;
+  for (const auto& point : points) {
+    const crp::harness::SweepSizes sizes{
+        .name = "H=" + fmt(point.h, 2), .distribution = &point.actual};
+    grid.add_cell({.algorithm = {.name = "decay", .schedule = &decay},
+                   .sizes = sizes,
+                   .max_rounds = 1 << 18});
+    grid.add_cell({.algorithm = {.name = "willard", .policy = &willard},
+                   .sizes = sizes,
+                   .max_rounds = 1 << 14});
+  }
+  const auto results = crp::harness::run_sweep(
+      grid.cells(), {.trials = kTrials / 2, .seed = kSeed + 2});
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double h = points[i].h;
+    const auto [seq_bits, seq_mass] =
+        seq_code.expected_length(points[i].condensed);
     const auto [tree_bits, tree_mass] =
-        tree_code.expected_length(condensed);
-    const auto m_decay = crp::harness::measure_uniform_no_cd(
-        decay, actual, kTrials / 2, kSeed + 2, fast(1 << 18));
-    const auto m_willard = crp::harness::measure_uniform_cd(
-        willard, actual, kTrials / 2, kSeed + 3, fast(1 << 14));
+        tree_code.expected_length(points[i].condensed);
+    const auto& m_decay = results[2 * i].measurement;
+    const auto& m_willard = results[2 * i + 1].measurement;
     table.add_row(
         {fmt(h, 2), fmt(std::exp2(h) / loglog, 2),
          fmt(seq_bits, 2) + (seq_bits + 1e-9 >= h ? " yes" : " NO"),
@@ -199,6 +254,30 @@ void BM_Table1NoCdSweepBatchParallel(benchmark::State& state) {
   Table1NoCdSweep(state, fast(1 << 18));
 }
 BENCHMARK(BM_Table1NoCdSweepBatchParallel)->Unit(benchmark::kMillisecond);
+
+// The same workload one layer up: the whole entropy sweep declared as
+// a grid and executed by the sweep scheduler in a single call (the
+// PR 2 acceptance pair is this plus BM_Table1NoCdSweepBatchParallel).
+void BM_Table1SweepScheduler(benchmark::State& state) {
+  const auto points = entropy_points(kNetwork);
+  crp::harness::SweepGrid grid;
+  for (const auto& point : points) {
+    grid.add_cell({.algorithm = {.name = "likelihood",
+                                 .schedule = &point.schedule},
+                   .sizes = {.name = "H=" + fmt(point.h, 2),
+                             .distribution = &point.actual},
+                   .max_rounds = 1 << 18});
+  }
+  const auto cells = grid.cells();
+  double checksum = 0.0;
+  for (auto _ : state) {
+    const auto results = crp::harness::run_sweep(
+        cells, {.trials = kTrials, .seed = kSeed});
+    for (const auto& result : results) checksum += result.measurement.rounds.mean;
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_Table1SweepScheduler)->Unit(benchmark::kMillisecond);
 
 // ---- google-benchmark microbenchmarks: per-round simulation cost ----
 

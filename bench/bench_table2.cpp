@@ -28,6 +28,7 @@
 #include "core/faulty_advice.h"
 #include "harness/fit.h"
 #include "harness/measure.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 #include "info/distribution.h"
 #include "rangefind/selective.h"
@@ -44,14 +45,18 @@ void print_deterministic() {
             << ", worst-case rounds over probed participant sets) ==\n";
   crp::harness::Table table({"b", "n/2^b bound", "noCD worst",
                              "log(n)-b bound", "CD worst"});
+  // The probe fan-out is thread-count invariant; run it on the pool.
+  const crp::harness::MeasureOptions pooled{.max_rounds = 1 << 20,
+                                            .threads = 0};
   for (std::size_t b : {0ul, 2ul, 4ul, 6ul, 8ul, 10ul}) {
     const crp::core::SubtreeScanProtocol scan(n, b);
     const crp::core::TreeDescentCdProtocol descent(n, b);
     const crp::core::MinIdPrefixAdvice advice(n, b);
     const double no_cd = crp::harness::worst_case_deterministic_rounds(
-        scan, advice, n, /*k=*/4, false, /*probes=*/300, kSeed);
+        scan, advice, n, /*k=*/4, false, /*probes=*/300, kSeed, pooled);
     const double cd = crp::harness::worst_case_deterministic_rounds(
-        descent, advice, n, /*k=*/4, true, /*probes=*/300, kSeed + 1);
+        descent, advice, n, /*k=*/4, true, /*probes=*/300, kSeed + 1,
+        pooled);
     table.add_row({fmt(b), fmt(double(n) / std::exp2(double(b)), 0),
                    fmt(no_cd, 0),
                    fmt(std::log2(double(n)) - double(b), 0), fmt(cd, 0)});
@@ -72,18 +77,46 @@ void print_randomized() {
   std::vector<double> nocd_means;
   std::vector<std::size_t> participants(k);
   for (std::size_t i = 0; i < k; ++i) participants[i] = i;
-  for (std::size_t b : {0ul, 1ul, 2ul, 3ul, 4ul}) {
-    const crp::core::RangeGroupAdvice advice(n, b);
-    const std::size_t group =
-        crp::core::bits_to_index(advice.advise(participants));
-    const crp::core::TruncatedDecaySchedule decay(
-        advice.ranges_in_group(group));
-    const crp::core::TruncatedWillardPolicy willard(
-        advice.ranges_in_group(group));
-    const auto m_decay = crp::harness::measure_uniform_no_cd_fixed_k(
-        decay, k, trials, kSeed + 2, fast(1 << 14));
-    const auto m_willard = crp::harness::measure_uniform_cd_fixed_k(
-        willard, k, trials, kSeed + 3, fast(1 << 12));
+
+  // One advice-budget point per b: the truncated baselines configured
+  // for the advised range group, swept as fixed-k cells in one grid.
+  struct BudgetPoint {
+    BudgetPoint(std::size_t n, std::size_t b,
+                const std::vector<std::size_t>& participants)
+        : advice(n, b),
+          group(crp::core::bits_to_index(advice.advise(participants))),
+          decay(advice.ranges_in_group(group)),
+          willard(advice.ranges_in_group(group)) {}
+
+    crp::core::RangeGroupAdvice advice;
+    std::size_t group;
+    crp::core::TruncatedDecaySchedule decay;
+    crp::core::TruncatedWillardPolicy willard;
+  };
+  const std::vector<std::size_t> budgets{0, 1, 2, 3, 4};
+  std::vector<BudgetPoint> points;
+  for (const std::size_t b : budgets) {
+    points.emplace_back(n, b, participants);
+  }
+  crp::harness::SweepGrid grid;
+  for (const auto& point : points) {
+    const crp::harness::SweepSizes sizes{.fixed_k = k};
+    grid.add_cell({.algorithm = {.name = "trunc-decay",
+                                 .schedule = &point.decay},
+                   .sizes = sizes,
+                   .max_rounds = 1 << 14});
+    grid.add_cell({.algorithm = {.name = "trunc-willard",
+                                 .policy = &point.willard},
+                   .sizes = sizes,
+                   .max_rounds = 1 << 12});
+  }
+  const auto results = crp::harness::run_sweep(
+      grid.cells(), {.trials = trials, .seed = kSeed + 2});
+
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const std::size_t b = budgets[i];
+    const auto& m_decay = results[2 * i].measurement;
+    const auto& m_willard = results[2 * i + 1].measurement;
     table.add_row(
         {fmt(b), fmt(std::log2(double(n)) / std::exp2(double(b)), 2),
          fmt(m_decay.rounds.mean, 2),

@@ -28,6 +28,10 @@
 //   --engine   no-CD simulation engine: batch (analytic fast path,
 //              default) | binomial | per-player. Engines agree up to
 //              Monte-Carlo noise; see src/channel/batch.h.
+//
+// The comparison runs as one sweep-scheduler grid (harness/sweep.h)
+// with a pinned seed stream per algorithm, so at a fixed --seed the
+// "--algo X" row equals the X row of "--algo all" exactly.
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -41,6 +45,7 @@
 #include "core/likelihood_schedule.h"
 #include "harness/csv.h"
 #include "harness/measure.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 #include "info/distribution.h"
 #include "predict/families.h"
@@ -143,83 +148,88 @@ struct AlgoResult {
   crp::harness::Measurement measurement;
 };
 
-crp::harness::MeasureOptions measure_options(const Options& options) {
-  crp::harness::NoCdEngine engine = crp::harness::NoCdEngine::kBatch;
-  if (options.engine == "batch") {
-    engine = crp::harness::NoCdEngine::kBatch;
-  } else if (options.engine == "binomial") {
-    engine = crp::harness::NoCdEngine::kBinomial;
-  } else if (options.engine == "per-player") {
-    engine = crp::harness::NoCdEngine::kPerPlayer;
-  } else {
-    usage_error("unknown engine " + options.engine);
+crp::harness::NoCdEngine parse_engine(const Options& options) {
+  if (options.engine == "batch") return crp::harness::NoCdEngine::kBatch;
+  if (options.engine == "binomial") {
+    return crp::harness::NoCdEngine::kBinomial;
   }
-  return crp::harness::MeasureOptions{.max_rounds = options.max_rounds,
-                                      .threads = options.threads,
-                                      .engine = engine};
+  if (options.engine == "per-player") {
+    return crp::harness::NoCdEngine::kPerPlayer;
+  }
+  usage_error("unknown engine " + options.engine);
 }
 
 std::vector<AlgoResult> run_algorithms(const Options& options,
                                        const crp::info::SizeDistribution&
                                            actual) {
   const auto condensed = actual.condense();
-  const auto measure = measure_options(options);
-  std::vector<AlgoResult> results;
   const auto want = [&](const std::string& name) {
     return options.algo == "all" || split_spec(options.algo).first == name;
   };
 
-  if (want("decay")) {
-    const crp::baselines::DecaySchedule schedule(options.n);
-    results.push_back({"decay", "no CD",
-                       crp::harness::measure_uniform_no_cd(
-                           schedule, actual, options.trials, options.seed,
-                           measure)});
-  }
-  if (want("fixed")) {
-    const auto [_, args] = split_spec(options.algo);
-    const std::size_t k_hat =
-        args.empty() ? static_cast<std::size_t>(actual.mean())
-                     : std::stoull(args);
-    const auto schedule =
-        crp::baselines::FixedProbabilitySchedule::for_size_estimate(
-            std::max<std::size_t>(k_hat, 1));
-    results.push_back({"fixed 1/" + std::to_string(k_hat), "no CD",
-                       crp::harness::measure_uniform_no_cd(
-                           schedule, actual, options.trials, options.seed,
-                           measure)});
-  }
-  if (want("likelihood")) {
-    const crp::core::LikelihoodOrderedSchedule schedule(condensed);
-    results.push_back({"likelihood-ordered", "no CD",
-                       crp::harness::measure_uniform_no_cd(
-                           schedule, actual, options.trials, options.seed,
-                           measure)});
-  }
-  if (want("likelihood-prop")) {
-    const crp::core::LikelihoodOrderedSchedule schedule(
-        condensed, crp::core::CycleMode::kProportional);
-    results.push_back({"likelihood-proportional", "no CD",
-                       crp::harness::measure_uniform_no_cd(
-                           schedule, actual, options.trials, options.seed,
-                           measure)});
-  }
-  if (want("willard")) {
-    const crp::baselines::WillardPolicy policy(options.n);
-    results.push_back({"willard", "CD",
-                       crp::harness::measure_uniform_cd(
-                           policy, actual, options.trials, options.seed,
-                           measure)});
-  }
-  if (want("coded")) {
-    const crp::core::CodedSearchPolicy policy(condensed);
-    results.push_back({"coded-search", "CD",
-                       crp::harness::measure_uniform_cd(
-                           policy, actual, options.trials, options.seed,
-                           measure)});
-  }
-  if (results.empty()) {
+  // The algorithm registry: objects owned here, selected ones become
+  // grid cells. seed_stream is the registry position, so "--algo X"
+  // reproduces the exact X row of "--algo all" at the same seed.
+  const crp::baselines::DecaySchedule decay(options.n);
+  // Spec args configure only the algorithm they belong to (fixed:K);
+  // any other algorithm's args are ignored, as before the sweep port.
+  const auto [spec_name, spec_args] = split_spec(options.algo);
+  const std::size_t k_hat =
+      spec_name == "fixed" && !spec_args.empty()
+          ? std::stoull(spec_args)
+          : static_cast<std::size_t>(actual.mean());
+  const auto fixed =
+      crp::baselines::FixedProbabilitySchedule::for_size_estimate(
+          std::max<std::size_t>(k_hat, 1));
+  const crp::core::LikelihoodOrderedSchedule likelihood(condensed);
+  const crp::core::LikelihoodOrderedSchedule likelihood_prop(
+      condensed, crp::core::CycleMode::kProportional);
+  const crp::baselines::WillardPolicy willard(options.n);
+  const crp::core::CodedSearchPolicy coded(condensed);
+
+  crp::harness::SweepGrid grid;
+  std::vector<std::string> channels;
+  std::uint64_t stream = 0;
+  const auto add = [&](const std::string& spec_name, std::string row_name,
+                       std::string channel,
+                       const crp::channel::ProbabilitySchedule* schedule,
+                       const crp::channel::CollisionPolicy* policy) {
+    if (want(spec_name)) {
+      grid.add_cell({.algorithm = {.name = std::move(row_name),
+                                   .schedule = schedule,
+                                   .policy = policy},
+                     .sizes = {.name = options.dist,
+                               .distribution = &actual},
+                     .max_rounds = options.max_rounds,
+                     .seed_stream = stream});
+      channels.push_back(std::move(channel));
+    }
+    ++stream;
+  };
+  add("decay", "decay", "no CD", &decay, nullptr);
+  add("fixed", "fixed 1/" + std::to_string(k_hat), "no CD", &fixed,
+      nullptr);
+  add("likelihood", "likelihood-ordered", "no CD", &likelihood, nullptr);
+  add("likelihood-prop", "likelihood-proportional", "no CD",
+      &likelihood_prop, nullptr);
+  add("willard", "willard", "CD", nullptr, &willard);
+  add("coded", "coded-search", "CD", nullptr, &coded);
+
+  const auto cells = grid.cells();
+  if (cells.empty()) {
     usage_error("unknown algorithm " + options.algo);
+  }
+  const auto sweep = crp::harness::run_sweep(
+      cells, {.trials = options.trials,
+              .seed = options.seed,
+              .threads = options.threads,
+              .engine = parse_engine(options)});
+
+  std::vector<AlgoResult> results;
+  results.reserve(sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    results.push_back({sweep[i].cell.algorithm.name, channels[i],
+                       sweep[i].measurement});
   }
   return results;
 }

@@ -52,19 +52,13 @@ double BatchNoCdSampler::probability(std::size_t round) const {
 }
 
 std::shared_ptr<const BatchNoCdSampler::SolveTable>
-BatchNoCdSampler::table_for(std::size_t k, double target,
-                            std::size_t max_rounds) const {
+BatchNoCdSampler::snapshot(std::size_t k, double target,
+                           std::size_t max_rounds) const {
   {
     std::shared_lock lock(mutex_);
     const auto it = tables_.find(k);
-    if (it != tables_.end()) {
-      const auto& ls = it->second->log_survival;
-      // Periodic tables are complete by construction; aperiodic tables
-      // serve the request if they already reach the target or the
-      // round budget.
-      if (period_ > 0 || ls.back() < target || ls.size() > max_rounds) {
-        return it->second;
-      }
+    if (it != tables_.end() && serves(*it->second, target, max_rounds)) {
+      return it->second;
     }
   }
   std::unique_lock lock(mutex_);
@@ -119,10 +113,13 @@ std::size_t BatchNoCdSampler::solve_round(std::size_t k, double u,
   // round is the smallest r with LS(r) < log u'. The inequality is
   // strict so rounds with zero success probability are never chosen,
   // even at u' = 1.
-  const double target = std::log1p(-u);
+  const double target = target_for(u);
+  return search(*snapshot(k, target, max_rounds), target, max_rounds);
+}
 
-  const auto table = table_for(k, target, max_rounds);
-  const auto& ls = table->log_survival;
+std::size_t BatchNoCdSampler::search(const SolveTable& table, double target,
+                                     std::size_t max_rounds) const {
+  const auto& ls = table.log_survival;
   const std::size_t span = ls.size() - 1;  // rounds covered by the table
 
   std::size_t round = 0;  // 1-based; 0 = past the round budget

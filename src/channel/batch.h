@@ -92,19 +92,45 @@ class BatchNoCdSampler {
   /// The tabulated per-round probability (exposed for tests).
   double probability(std::size_t round) const;
 
- private:
-  // Immutable once built: log_survival[r] = LS(r) over rounds [0, r),
-  // non-increasing, log_survival[0] = 0. For periodic schedules the
-  // table spans exactly one period; aperiodic tables span the rounds
-  // tabulated so far and are replaced by extended copies on growth.
+  // ---- columnar interface (channel/engine.h) ----
+  //
+  // A columnar caller fetches one table snapshot per distinct k and
+  // then answers every draw with that k through search() — no lock,
+  // hash lookup, or refcount traffic on the per-trial path. The
+  // snapshot stays valid however the shared cache grows concurrently.
+
+  /// Immutable once built: log_survival[r] = LS(r) over rounds [0, r),
+  /// non-increasing, log_survival[0] = 0. For periodic schedules the
+  /// table spans exactly one period; aperiodic tables span the rounds
+  /// tabulated so far and are replaced by extended copies on growth.
   struct SolveTable {
     std::vector<double> log_survival;
   };
 
-  std::shared_ptr<const SolveTable> table_for(std::size_t k,
-                                              double target,
-                                              std::size_t max_rounds) const;
+  /// The log-survival target log(1 - u) a uniform draw has to reach.
+  static double target_for(double u) { return std::log1p(-u); }
 
+  /// Fetches (building or extending under the shared lock if needed)
+  /// the table snapshot serving (k, target) within `max_rounds`.
+  std::shared_ptr<const SolveTable> snapshot(std::size_t k, double target,
+                                             std::size_t max_rounds) const;
+
+  /// True when `table` can answer `target` without extension — always
+  /// for periodic schedules, for aperiodic ones when the tabulated
+  /// prefix already crosses the target or exhausts the round budget.
+  bool serves(const SolveTable& table, double target,
+              std::size_t max_rounds) const {
+    return period_ > 0 || table.log_survival.back() < target ||
+           table.log_survival.size() > max_rounds;
+  }
+
+  /// Inverse-CDF search in a snapshot: the 1-based solve round for
+  /// `target`, or 0 when the execution outlives `max_rounds`. Pure —
+  /// the per-trial columnar hot path.
+  std::size_t search(const SolveTable& table, double target,
+                     std::size_t max_rounds) const;
+
+ private:
   const ProbabilitySchedule& schedule_;
   const std::size_t period_;  // 0 = aperiodic
 

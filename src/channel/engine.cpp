@@ -1,0 +1,146 @@
+#include "channel/engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "channel/rng.h"
+#include "channel/simulator.h"
+
+namespace crp::channel {
+
+namespace {
+
+void validate_block(const TrialBlock& block) {
+  if (block.rounds.size() != block.size() ||
+      (!block.transmissions.empty() &&
+       block.transmissions.size() != block.size())) {
+    throw std::invalid_argument("trial block columns disagree on length");
+  }
+  if (block.sizes.distribution == nullptr && block.sizes.fixed_k == 0) {
+    throw std::invalid_argument("need at least one participant");
+  }
+}
+
+/// Shared body of the exact-simulator adapters: per trial, one derived
+/// mt19937_64 stream feeding the k draw (when drawn) and the scalar
+/// run — exactly the draw order of the scalar Trial path, so results
+/// are bit-identical to it.
+template <typename Run>
+void run_scalar_adapter(TrialBlock& block, const Run& run) {
+  validate_block(block);
+  const info::SizeDistribution* dist = block.sizes.distribution;
+  const SimOptions options{.max_rounds = block.max_rounds};
+  for (std::size_t t = 0; t < block.size(); ++t) {
+    auto rng = derive_rng(block.seed, block.first_trial + t);
+    const std::size_t k = dist ? dist->sample(rng) : block.sizes.fixed_k;
+    const RunResult result = run(k, rng, options);
+    block.solved[t] = result.solved ? 1 : 0;
+    block.rounds[t] = result.rounds;
+    if (!block.transmissions.empty()) {
+      block.transmissions[t] = result.transmissions;
+    }
+  }
+}
+
+}  // namespace
+
+void run_adapter_block(
+    TrialBlock& block,
+    const std::function<RunResult(std::size_t k, std::mt19937_64& rng,
+                                  const SimOptions& options)>& run) {
+  run_scalar_adapter(block, run);
+}
+
+void BatchColumnarEngine::run_many(TrialBlock& block) const {
+  validate_block(block);
+  const std::size_t count = block.size();
+  const info::SizeDistribution* dist = block.sizes.distribution;
+
+  // Pass 1: burn through the per-trial SplitMix64 streams, spending one
+  // draw on the participant count (drawn sizes only; the compact
+  // support table makes this a search over support_size() entries) and
+  // one on the solve round. The draw order matches the scalar batch
+  // path bit for bit.
+  std::vector<double> u(count);
+  std::vector<std::uint32_t> slot;  // support index per trial
+  if (dist != nullptr) {
+    const auto cum = dist->support_cumulative();
+    slot.resize(count);
+    for (std::size_t t = 0; t < count; ++t) {
+      SplitMix64 rng = derive_fast_rng(block.seed, block.first_trial + t);
+      std::uniform_real_distribution<double> unit(0.0, 1.0);
+      const double uk = unit(rng);
+      slot[t] = static_cast<std::uint32_t>(
+          std::lower_bound(cum.begin(), cum.end(), uk) - cum.begin());
+      u[t] = unit(rng);
+    }
+  } else {
+    for (std::size_t t = 0; t < count; ++t) {
+      SplitMix64 rng = derive_fast_rng(block.seed, block.first_trial + t);
+      std::uniform_real_distribution<double> unit(0.0, 1.0);
+      u[t] = unit(rng);
+    }
+  }
+
+  // Pass 2: inverse-CDF search every draw over the shared prefix sums.
+  // One table snapshot per support slot serves the whole block; only a
+  // draw an aperiodic snapshot cannot answer re-enters the sampler's
+  // shared cache.
+  const auto solve = [&](const std::size_t t,
+                         std::shared_ptr<const BatchNoCdSampler::SolveTable>&
+                             table,
+                         const std::size_t k) {
+    const double target = BatchNoCdSampler::target_for(u[t]);
+    if (table == nullptr || !sampler_.serves(*table, target, block.max_rounds)) {
+      table = sampler_.snapshot(k, target, block.max_rounds);
+    }
+    const std::size_t round = sampler_.search(*table, target, block.max_rounds);
+    block.solved[t] = round != 0 ? 1 : 0;
+    block.rounds[t] = round != 0 ? round : block.max_rounds;
+  };
+  if (dist != nullptr) {
+    const auto sizes = dist->support_sizes();
+    std::vector<std::shared_ptr<const BatchNoCdSampler::SolveTable>> tables(
+        sizes.size());
+    for (std::size_t t = 0; t < count; ++t) {
+      solve(t, tables[slot[t]], sizes[slot[t]]);
+    }
+  } else {
+    std::shared_ptr<const BatchNoCdSampler::SolveTable> table;
+    for (std::size_t t = 0; t < count; ++t) {
+      solve(t, table, block.sizes.fixed_k);
+    }
+  }
+
+  // The analytic path does not reconstruct the energy proxy (matching
+  // BatchOptions::sample_transmissions' default).
+  if (!block.transmissions.empty()) {
+    std::fill(block.transmissions.begin(), block.transmissions.end(), 0);
+  }
+}
+
+void BinomialColumnarEngine::run_many(TrialBlock& block) const {
+  run_scalar_adapter(block, [this](std::size_t k, std::mt19937_64& rng,
+                                   const SimOptions& options) {
+    return run_uniform_no_cd(schedule_, k, rng, options);
+  });
+}
+
+void PerPlayerColumnarEngine::run_many(TrialBlock& block) const {
+  run_scalar_adapter(block, [this](std::size_t k, std::mt19937_64& rng,
+                                   const SimOptions& options) {
+    return run_uniform_no_cd_per_player(schedule_, k, rng, options);
+  });
+}
+
+void CollisionPolicyColumnarEngine::run_many(TrialBlock& block) const {
+  run_scalar_adapter(block, [this](std::size_t k, std::mt19937_64& rng,
+                                   const SimOptions& options) {
+    return run_uniform_cd(policy_, k, rng, options);
+  });
+}
+
+}  // namespace crp::channel

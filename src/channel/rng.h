@@ -14,15 +14,22 @@ inline std::mt19937_64 make_rng(std::uint64_t seed) {
   return std::mt19937_64{seed};
 }
 
-/// Derives an independent engine for stream `stream` of experiment
-/// `seed` via splitmix64 mixing (avoids correlated low-entropy seeds
-/// such as consecutive integers).
-inline std::mt19937_64 derive_rng(std::uint64_t seed, std::uint64_t stream) {
+/// Splitmix64-finalizer mix of (seed, stream): the one seed-derivation
+/// rule shared by derive_rng, derive_fast_rng, and the sweep
+/// scheduler's per-cell seeds (harness/sweep.h). Mixing avoids
+/// correlated low-entropy seeds such as consecutive integers.
+inline std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                        std::uint64_t stream) {
   std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z = z ^ (z >> 31);
-  return std::mt19937_64{z};
+  return z ^ (z >> 31);
+}
+
+/// Derives an independent engine for stream `stream` of experiment
+/// `seed`.
+inline std::mt19937_64 derive_rng(std::uint64_t seed, std::uint64_t stream) {
+  return std::mt19937_64{derive_stream_seed(seed, stream)};
 }
 
 /// A splitmix64 engine: one add and a three-stage mix per draw, and —
@@ -61,10 +68,7 @@ class SplitMix64 {
 /// engine's per-draw increment), serially correlating consecutive
 /// trials.
 inline SplitMix64 derive_fast_rng(std::uint64_t seed, std::uint64_t stream) {
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return SplitMix64(z ^ (z >> 31));
+  return SplitMix64(derive_stream_seed(seed, stream));
 }
 
 }  // namespace crp::channel

@@ -29,17 +29,25 @@ struct ExactWorstCase {
 
 /// Enumerates every k-subset of {0..n-1} and runs the protocol with the
 /// advice function on each. Cost is C(n, k) full executions — keep
-/// C(n, k) under ~10^6.
+/// C(n, k) under ~10^6. The enumeration is embarrassingly parallel:
+/// workers steal fixed blocks of combination ranks (the same block
+/// scheduler as the Monte-Carlo harness), unrank the block's first set
+/// via the combinatorial number system, and advance lexicographically
+/// from there; the fold visits blocks in rank order, so the result —
+/// witness included — is identical to the serial scan at any thread
+/// count (`threads`: 0 = all hardware threads, 1 = serial).
 ExactWorstCase exact_worst_case(const channel::DeterministicProtocol& protocol,
                                 const core::AdviceFunction& advice,
                                 std::size_t n, std::size_t k,
                                 bool collision_detection,
-                                std::size_t max_rounds = 1 << 16);
+                                std::size_t max_rounds = 1 << 16,
+                                std::size_t threads = 0);
 
 /// Same maximum taken over ALL set sizes 1..max_k.
 ExactWorstCase exact_worst_case_all_sizes(
     const channel::DeterministicProtocol& protocol,
     const core::AdviceFunction& advice, std::size_t n, std::size_t max_k,
-    bool collision_detection, std::size_t max_rounds = 1 << 16);
+    bool collision_detection, std::size_t max_rounds = 1 << 16,
+    std::size_t threads = 0);
 
 }  // namespace crp::harness

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "channel/batch.h"
+#include "channel/engine.h"
 #include "channel/rng.h"
 #include "harness/parallel.h"
 
@@ -18,54 +18,60 @@ MeasureOptions legacy_options(std::size_t max_rounds) {
       .max_rounds = max_rounds, .threads = 1, .engine = NoCdEngine::kBinomial};
 }
 
-/// Serial vs thread-pool dispatch (the two are bit-identical).
-Measurement run_trials(const Trial& trial, std::size_t trials,
-                       std::uint64_t seed, std::size_t threads) {
-  return threads == 1 ? measure(trial, trials, seed)
-                      : measure_parallel(trial, trials, seed, threads);
-}
-
-/// The batch-engine measurement loop. Does not route through Trial:
-/// each trial derives a lightweight SplitMix64 stream (seeding a
-/// mt19937_64 costs microseconds — more than the analytic sampling
-/// itself) and spends one draw on the participant count and one on the
-/// inverse-CDF solve round. Bit-identical across thread counts.
-Measurement measure_batch(
-    const channel::BatchNoCdSampler& sampler,
-    const std::function<std::size_t(channel::SplitMix64&)>& draw_k,
-    std::size_t trials, std::uint64_t seed, const MeasureOptions& options) {
-  std::vector<channel::RunResult> runs(trials);
-  parallel_trials(trials, options.threads, [&](std::size_t t) {
-    auto rng = channel::derive_fast_rng(seed, t);
-    const std::size_t k = draw_k(rng);
-    runs[t] = sampler.sample(k, rng, options.max_rounds);
-  });
-  return measurement_from_runs(runs);
-}
-
 /// Engine dispatch shared by the drawn-k and fixed-k no-CD helpers:
-/// the batch engine gets the lightweight-stream loop, the exact
-/// engines route through the Trial interface.
-Measurement measure_no_cd_dispatch(
-    const channel::ProbabilitySchedule& schedule,
-    const std::function<std::size_t(channel::SplitMix64&)>& draw_k_fast,
-    const std::function<std::size_t(std::mt19937_64&)>& draw_k,
-    std::size_t trials, std::uint64_t seed, const MeasureOptions& options) {
-  if (options.engine == NoCdEngine::kBatch) {
-    const channel::BatchNoCdSampler sampler(schedule);
-    return measure_batch(sampler, draw_k_fast, trials, seed, options);
+/// every engine choice runs through the same block scheduler.
+Measurement measure_no_cd(const channel::ProbabilitySchedule& schedule,
+                          const channel::SizeSource& sizes,
+                          std::size_t trials, std::uint64_t seed,
+                          const MeasureOptions& options) {
+  switch (options.engine) {
+    case NoCdEngine::kBatch: {
+      const channel::BatchColumnarEngine engine(schedule);
+      return measure_blocks(engine, sizes, trials, seed, options);
+    }
+    case NoCdEngine::kPerPlayer: {
+      const channel::PerPlayerColumnarEngine engine(schedule);
+      return measure_blocks(engine, sizes, trials, seed, options);
+    }
+    case NoCdEngine::kBinomial:
+    default: {
+      const channel::BinomialColumnarEngine engine(schedule);
+      return measure_blocks(engine, sizes, trials, seed, options);
+    }
   }
-  return run_trials(
-      [&](std::size_t, std::mt19937_64& rng) {
-        const std::size_t k = draw_k(rng);
-        return options.engine == NoCdEngine::kPerPlayer
-                   ? channel::run_uniform_no_cd_per_player(
-                         schedule, k, rng, {.max_rounds = options.max_rounds})
-                   : channel::run_uniform_no_cd(
-                         schedule, k, rng, {.max_rounds = options.max_rounds});
-      },
-      trials, seed, options.threads);
 }
+
+/// Columnar adapter for the Section 3 advice protocols: per trial, one
+/// derived mt19937_64 stream draws the participant count, the
+/// participant set, and runs the protocol on the advice — the same
+/// draw order as the scalar Trial path it replaces.
+class DeterministicAdviceEngine final : public channel::Engine {
+ public:
+  DeterministicAdviceEngine(const channel::DeterministicProtocol& protocol,
+                            const core::AdviceFunction& advice, std::size_t n,
+                            bool collision_detection)
+      : protocol_(protocol),
+        advice_(advice),
+        n_(n),
+        collision_detection_(collision_detection) {}
+
+  void run_many(channel::TrialBlock& block) const override {
+    channel::run_adapter_block(
+        block, [this](std::size_t k, std::mt19937_64& rng,
+                      const channel::SimOptions& options) {
+          const auto participants = random_participant_set(n_, k, rng);
+          const auto bits = advice_.advise(participants);
+          return channel::run_deterministic(protocol_, bits, participants,
+                                            collision_detection_, options);
+        });
+  }
+
+ private:
+  const channel::DeterministicProtocol& protocol_;
+  const core::AdviceFunction& advice_;
+  std::size_t n_;
+  bool collision_detection_;
+};
 
 }  // namespace
 
@@ -86,6 +92,51 @@ Measurement measurement_from_runs(std::span<const channel::RunResult> runs) {
                          static_cast<double>(runs.size());
   result.rounds = summarize(result.samples);
   return result;
+}
+
+Measurement measurement_from_columns(std::span<const std::uint8_t> solved,
+                                     std::span<const std::uint64_t> rounds) {
+  if (solved.size() != rounds.size()) {
+    throw std::invalid_argument("result columns disagree on length");
+  }
+  Measurement result;
+  result.trials = solved.size();
+  result.samples.reserve(solved.size());
+  std::size_t solved_count = 0;
+  for (std::size_t t = 0; t < solved.size(); ++t) {
+    if (solved[t]) {
+      ++solved_count;
+      result.samples.push_back(static_cast<double>(rounds[t]));
+    }
+  }
+  result.success_rate =
+      solved.empty() ? 0.0
+                     : static_cast<double>(solved_count) /
+                           static_cast<double>(solved.size());
+  result.rounds = summarize(result.samples);
+  return result;
+}
+
+Measurement measure_blocks(const channel::Engine& engine,
+                           const channel::SizeSource& sizes,
+                           std::size_t trials, std::uint64_t seed,
+                           const MeasureOptions& options) {
+  std::vector<std::uint8_t> solved(trials);
+  std::vector<std::uint64_t> rounds(trials);
+  parallel_blocks(trials, options.threads,
+                  [&](std::size_t begin, std::size_t end) {
+                    channel::TrialBlock block;
+                    block.seed = seed;
+                    block.first_trial = begin;
+                    block.max_rounds = options.max_rounds;
+                    block.sizes = sizes;
+                    block.solved =
+                        std::span(solved).subspan(begin, end - begin);
+                    block.rounds =
+                        std::span(rounds).subspan(begin, end - begin);
+                    engine.run_many(block);
+                  });
+  return measurement_from_columns(solved, rounds);
 }
 
 double Measurement::solved_within(double budget) const {
@@ -129,14 +180,8 @@ Measurement measure_uniform_no_cd(const channel::ProbabilitySchedule& schedule,
                                   const info::SizeDistribution& actual,
                                   std::size_t trials, std::uint64_t seed,
                                   const MeasureOptions& options) {
-  return measure_no_cd_dispatch(
-      schedule,
-      [&actual](channel::SplitMix64& rng) {
-        std::uniform_real_distribution<double> unit(0.0, 1.0);
-        return actual.sample_at(unit(rng));
-      },
-      [&actual](std::mt19937_64& rng) { return actual.sample(rng); },
-      trials, seed, options);
+  return measure_no_cd(schedule, channel::SizeSource{&actual, 0}, trials,
+                       seed, options);
 }
 
 Measurement measure_uniform_cd(const channel::CollisionPolicy& policy,
@@ -151,13 +196,9 @@ Measurement measure_uniform_cd(const channel::CollisionPolicy& policy,
                                const info::SizeDistribution& actual,
                                std::size_t trials, std::uint64_t seed,
                                const MeasureOptions& options) {
-  return run_trials(
-      [&](std::size_t, std::mt19937_64& rng) {
-        const std::size_t k = actual.sample(rng);
-        return channel::run_uniform_cd(policy, k, rng,
-                                       {.max_rounds = options.max_rounds});
-      },
-      trials, seed, options.threads);
+  const channel::CollisionPolicyColumnarEngine engine(policy);
+  return measure_blocks(engine, channel::SizeSource{&actual, 0}, trials,
+                        seed, options);
 }
 
 Measurement measure_uniform_no_cd_fixed_k(
@@ -170,9 +211,8 @@ Measurement measure_uniform_no_cd_fixed_k(
 Measurement measure_uniform_no_cd_fixed_k(
     const channel::ProbabilitySchedule& schedule, std::size_t k,
     std::size_t trials, std::uint64_t seed, const MeasureOptions& options) {
-  return measure_no_cd_dispatch(
-      schedule, [k](channel::SplitMix64&) { return k; },
-      [k](std::mt19937_64&) { return k; }, trials, seed, options);
+  return measure_no_cd(schedule, channel::SizeSource{nullptr, k}, trials,
+                       seed, options);
 }
 
 Measurement measure_uniform_cd_fixed_k(const channel::CollisionPolicy& policy,
@@ -187,12 +227,9 @@ Measurement measure_uniform_cd_fixed_k(const channel::CollisionPolicy& policy,
                                        std::size_t k, std::size_t trials,
                                        std::uint64_t seed,
                                        const MeasureOptions& options) {
-  return run_trials(
-      [&](std::size_t, std::mt19937_64& rng) {
-        return channel::run_uniform_cd(policy, k, rng,
-                                       {.max_rounds = options.max_rounds});
-      },
-      trials, seed, options.threads);
+  const channel::CollisionPolicyColumnarEngine engine(policy);
+  return measure_blocks(engine, channel::SizeSource{nullptr, k}, trials,
+                        seed, options);
 }
 
 std::vector<std::size_t> random_participant_set(std::size_t n, std::size_t k,
@@ -224,16 +261,10 @@ Measurement measure_deterministic_advice(
     const core::AdviceFunction& advice, const info::SizeDistribution& actual,
     std::size_t n, bool collision_detection, std::size_t trials,
     std::uint64_t seed, const MeasureOptions& options) {
-  return run_trials(
-      [&](std::size_t, std::mt19937_64& rng) {
-        const std::size_t k = actual.sample(rng);
-        const auto participants = random_participant_set(n, k, rng);
-        const auto bits = advice.advise(participants);
-        return channel::run_deterministic(protocol, bits, participants,
-                                          collision_detection,
-                                          {.max_rounds = options.max_rounds});
-      },
-      trials, seed, options.threads);
+  const DeterministicAdviceEngine engine(protocol, advice, n,
+                                         collision_detection);
+  return measure_blocks(engine, channel::SizeSource{&actual, 0}, trials,
+                        seed, options);
 }
 
 double worst_case_deterministic_rounds(
@@ -241,23 +272,37 @@ double worst_case_deterministic_rounds(
     const core::AdviceFunction& advice, std::size_t n, std::size_t k,
     bool collision_detection, std::size_t probes, std::uint64_t seed,
     std::size_t max_rounds) {
+  return worst_case_deterministic_rounds(
+      protocol, advice, n, k, collision_detection, probes, seed,
+      MeasureOptions{.max_rounds = max_rounds, .threads = 1});
+}
+
+double worst_case_deterministic_rounds(
+    const channel::DeterministicProtocol& protocol,
+    const core::AdviceFunction& advice, std::size_t n, std::size_t k,
+    bool collision_detection, std::size_t probes, std::uint64_t seed,
+    const MeasureOptions& options) {
   if (k > n) throw std::invalid_argument("cannot pick k > n participants");
-  double worst = 0.0;
-  const auto run_set = [&](const std::vector<std::size_t>& participants) {
+  const auto cost_of = [&](const std::vector<std::size_t>& participants) {
     const auto bits = advice.advise(participants);
     const auto result = channel::run_deterministic(
         protocol, bits, participants, collision_detection,
-        {.max_rounds = max_rounds});
-    worst = std::max(
-        worst, result.solved ? static_cast<double>(result.rounds)
-                             : static_cast<double>(max_rounds));
+        {.max_rounds = options.max_rounds});
+    return result.solved ? static_cast<double>(result.rounds)
+                         : static_cast<double>(options.max_rounds);
   };
 
-  // Random probes.
-  for (std::size_t p = 0; p < probes; ++p) {
+  // Random probes: independent (one derived stream each), so they fan
+  // out over the block scheduler; the max-fold is order-free, making
+  // the result thread-count invariant.
+  std::vector<double> probe_cost(probes);
+  parallel_trials(probes, options.threads, [&](std::size_t p) {
     auto rng = channel::derive_rng(seed, p);
-    run_set(random_participant_set(n, k, rng));
-  }
+    probe_cost[p] = cost_of(random_participant_set(n, k, rng));
+  });
+  double worst = 0.0;
+  for (const double cost : probe_cost) worst = std::max(worst, cost);
+
   // Crafted adversarial probes. "Tail": consecutive ids ending at the
   // highest id, which puts the minimum active id as deep as possible
   // into whatever subtree the advice names (worst for linear scans).
@@ -266,9 +311,9 @@ double worst_case_deterministic_rounds(
   // protocols).
   std::vector<std::size_t> crafted(k);
   for (std::size_t i = 0; i < k; ++i) crafted[i] = n - k + i;
-  run_set(crafted);
+  worst = std::max(worst, cost_of(crafted));
   for (std::size_t i = 0; i < k; ++i) crafted[i] = i;
-  run_set(crafted);
+  worst = std::max(worst, cost_of(crafted));
   return worst;
 }
 

@@ -1,8 +1,14 @@
 // Monte-Carlo measurement of contention-resolution round complexity.
-// Every experiment is a function (trial index, rng) -> RunResult; the
-// helpers below wire the common cases: a uniform algorithm against a
-// network-size distribution, and an advice protocol against sampled
-// participant sets.
+//
+// The execution stack is columnar: a channel::Engine fills
+// structure-of-arrays result columns for whole blocks of trials
+// (channel/engine.h), workers steal blocks (harness/parallel.h), and
+// measure_blocks() folds the columns into a Measurement in trial
+// order — bit-identical at every thread count. The measure_* helpers
+// below wire the common cases (a uniform algorithm against a
+// network-size distribution, an advice protocol against sampled
+// participant sets) onto that stack; the scalar Trial interface and
+// measure() remain as compatibility shims for per-trial callbacks.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "channel/engine.h"
 #include "channel/protocol.h"
 #include "channel/simulator.h"
 #include "core/advice.h"
@@ -36,9 +43,13 @@ struct Measurement {
 using Trial = std::function<channel::RunResult(std::size_t trial_index,
                                                std::mt19937_64& rng)>;
 
-/// Runs `trials` independent trials, deriving one RNG stream per trial
-/// from `seed` (replayable regardless of execution order). Serial; see
-/// harness/parallel.h for the bit-identical thread-pool drop-in.
+/// Compatibility shim for per-trial callbacks: runs `trials`
+/// independent trials serially, deriving (and paying for) one
+/// mt19937_64 stream per trial from `seed` (replayable regardless of
+/// execution order). See harness/parallel.h for the bit-identical
+/// thread-pool drop-in, and measure_blocks() for the columnar path the
+/// measure_* helpers use — which seeds no mt19937_64 on the analytic
+/// engine at all.
 Measurement measure(const Trial& trial, std::size_t trials,
                     std::uint64_t seed);
 
@@ -46,6 +57,12 @@ Measurement measure(const Trial& trial, std::size_t trials,
 /// Measurement — exactly the aggregation the serial measure() loop
 /// performs, shared by the thread-pool and batch measurement paths.
 Measurement measurement_from_runs(std::span<const channel::RunResult> runs);
+
+/// Columnar counterpart of measurement_from_runs: folds SoA result
+/// columns (`rounds[t]` is consulted only where `solved[t]`) with the
+/// identical aggregation, visiting trials in order.
+Measurement measurement_from_columns(std::span<const std::uint8_t> solved,
+                                     std::span<const std::uint64_t> rounds);
 
 /// Which engine simulates a uniform no-CD trial.
 enum class NoCdEngine {
@@ -68,6 +85,17 @@ struct MeasureOptions {
   /// analytic path exists for them).
   NoCdEngine engine = NoCdEngine::kBatch;
 };
+
+/// Runs `trials` trials through a columnar engine: workers steal
+/// fixed-size blocks (harness/parallel.h) and write the SoA result
+/// columns in place; the fold visits trials in order, so the
+/// Measurement is bit-identical at every thread count. This is the
+/// execution core under every measure_* helper; call it directly to
+/// drive a custom channel::Engine.
+Measurement measure_blocks(const channel::Engine& engine,
+                           const channel::SizeSource& sizes,
+                           std::size_t trials, std::uint64_t seed,
+                           const MeasureOptions& options);
 
 /// Uniform no-CD algorithm vs. sizes drawn from `actual`.
 Measurement measure_uniform_no_cd(const channel::ProbabilitySchedule& schedule,
@@ -127,11 +155,19 @@ Measurement measure_deterministic_advice(
 /// Worst-case (maximum over participant sets) round count of a
 /// deterministic advice protocol at fixed k, approximated by `probes`
 /// random sets plus the adversarial set concentrated at the tail of the
-/// advised subtree.
+/// advised subtree. The probes are independent, so the MeasureOptions
+/// overload fans them across the block scheduler (options.threads);
+/// the result is thread-count invariant. See harness/adversary.h for
+/// the exhaustive (exact) counterpart.
 double worst_case_deterministic_rounds(
     const channel::DeterministicProtocol& protocol,
     const core::AdviceFunction& advice, std::size_t n, std::size_t k,
     bool collision_detection, std::size_t probes, std::uint64_t seed,
     std::size_t max_rounds = 1 << 20);
+double worst_case_deterministic_rounds(
+    const channel::DeterministicProtocol& protocol,
+    const core::AdviceFunction& advice, std::size_t n, std::size_t k,
+    bool collision_detection, std::size_t probes, std::uint64_t seed,
+    const MeasureOptions& options);
 
 }  // namespace crp::harness

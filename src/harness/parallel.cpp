@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -11,32 +12,42 @@
 
 namespace crp::harness {
 
-void parallel_trials(std::size_t trials, std::size_t threads,
-                     const std::function<void(std::size_t)>& fn) {
+void parallel_blocks(std::size_t total, std::size_t threads,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t block_size) {
+  if (block_size == 0) {
+    throw std::invalid_argument("block size must be positive");
+  }
+  // Overflow-safe ceiling division: totals near SIZE_MAX must not wrap
+  // the block count to zero.
+  const std::size_t blocks =
+      total / block_size + (total % block_size != 0 ? 1 : 0);
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  threads = std::min(threads, std::max<std::size_t>(trials, 1));
+  threads = std::min(threads, std::max<std::size_t>(blocks, 1));
   if (threads <= 1) {
-    for (std::size_t t = 0; t < trials; ++t) fn(t);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t begin = b * block_size;
+      fn(begin, std::min(total, begin + block_size));
+    }
     return;
   }
 
-  // Workers claim fixed-size chunks of trial indices; chunking keeps
-  // the atomic counter off the per-trial hot path while still load
-  // balancing trials of wildly different lengths.
-  constexpr std::size_t kChunk = 32;
+  // Workers claim one block per pass over the atomic counter; the
+  // block is the load-balancing granule, so the counter stays off the
+  // per-trial hot path.
   std::atomic<std::size_t> next{0};
   std::exception_ptr error;
   std::mutex error_mutex;
 
   const auto worker = [&]() {
     while (true) {
-      const std::size_t begin = next.fetch_add(kChunk);
-      if (begin >= trials) return;
-      const std::size_t end = std::min(trials, begin + kChunk);
+      const std::size_t b = next.fetch_add(1);
+      if (b >= blocks) return;
+      const std::size_t begin = b * block_size;
       try {
-        for (std::size_t t = begin; t < end; ++t) fn(t);
+        fn(begin, std::min(total, begin + block_size));
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
@@ -50,6 +61,19 @@ void parallel_trials(std::size_t trials, std::size_t threads,
   for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
   for (auto& thread : pool) thread.join();
   if (error) std::rethrow_exception(error);
+}
+
+void parallel_trials(std::size_t trials, std::size_t threads,
+                     const std::function<void(std::size_t)>& fn) {
+  // Small blocks keep per-trial workloads of wildly different lengths
+  // load-balanced while amortizing the block claim.
+  constexpr std::size_t kChunk = 32;
+  parallel_blocks(
+      trials, threads,
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t t = begin; t < end; ++t) fn(t);
+      },
+      kChunk);
 }
 
 Measurement measure_parallel(const Trial& trial, std::size_t trials,

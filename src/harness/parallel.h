@@ -1,13 +1,16 @@
-// Thread-pool Monte-Carlo measurement: a drop-in for measure() that
-// fans the trials across worker threads.
+// Thread-pool execution for the Monte-Carlo harness: workers steal
+// fixed-size *blocks* of trial indices, not individual trials.
 //
-// Trials were already embarrassingly parallel — measure() derives one
-// independent, replayable RNG stream per trial index — so the pool just
-// claims chunks of trial indices, runs them, and writes results into a
-// per-trial slot. Samples are then assembled in trial order, exactly as
-// the serial loop would have, which makes the returned Measurement
-// bit-identical to measure() regardless of thread count or scheduling
+// The block partition of [0, trials) depends only on the trial count
+// and block size — never on the thread count or scheduling — and every
+// consumer derives per-trial (or per-block) state purely from the
+// block's index range. Results assembled in trial order are therefore
+// bit-identical to a serial run at any thread count
 // (tests/parallel_measure_test.cpp pins this down).
+//
+// Layering: channel/engine.h defines *what* runs on a block (columnar
+// engines), this header defines *where* blocks run, and
+// harness/measure.h glues the two into Measurements.
 #pragma once
 
 #include <cstddef>
@@ -18,11 +21,26 @@
 
 namespace crp::harness {
 
+/// Block size used by the columnar measurement paths. A fixed power of
+/// two (not derived from the thread count) so the partition — and any
+/// per-block derived state — is identical at every thread count.
+inline constexpr std::size_t kTrialBlockSize = 1024;
+
+/// Runs fn(begin, end) for every block [begin, end) of the fixed
+/// partition of [0, total) into `block_size`-sized blocks (the last
+/// block may be short) across `threads` workers (0 = all hardware
+/// threads; <= 1 runs inline on the calling thread, in block order).
+/// Workers claim whole blocks, so fn must be safe to call concurrently
+/// on distinct blocks. The first exception thrown is rethrown on the
+/// caller's thread after the pool drains.
+void parallel_blocks(std::size_t total, std::size_t threads,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t block_size = kTrialBlockSize);
+
 /// Runs fn(t) for every trial index t in [0, trials) across `threads`
 /// workers (0 = all hardware threads; <= 1 runs inline on the calling
-/// thread). Workers claim chunks of consecutive indices, so fn must be
-/// safe to call concurrently on distinct t. The first exception thrown
-/// is rethrown on the caller's thread after the pool drains.
+/// thread). A convenience wrapper over parallel_blocks with a small
+/// block size, for callers priced per trial rather than per column.
 void parallel_trials(std::size_t trials, std::size_t threads,
                      const std::function<void(std::size_t)>& fn);
 

@@ -7,18 +7,28 @@
 
 namespace crp::harness {
 
-double percentile(std::span<const double> samples, double q) {
-  if (samples.empty()) return 0.0;
+namespace {
+
+/// percentile() on already-sorted samples; summarize() sorts once and
+/// reads every quantile from the same copy.
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
   if (q < 0.0 || q > 1.0) {
     throw std::invalid_argument("percentile q must lie in [0, 1]");
   }
-  std::vector<double> sorted(samples.begin(), samples.end());
-  std::sort(sorted.begin(), sorted.end());
   const double position = q * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(std::floor(position));
   const std::size_t hi = static_cast<std::size_t>(std::ceil(position));
   const double frac = position - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double percentile(std::span<const double> samples, double q) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
 }
 
 SummaryStats summarize(std::span<const double> samples) {
@@ -46,9 +56,11 @@ SummaryStats summarize(std::span<const double> samples) {
     stats.ci95 =
         1.96 * stats.stddev / std::sqrt(static_cast<double>(stats.count));
   }
-  stats.p50 = percentile(samples, 0.50);
-  stats.p90 = percentile(samples, 0.90);
-  stats.p99 = percentile(samples, 0.99);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  stats.p50 = percentile_sorted(sorted, 0.50);
+  stats.p90 = percentile_sorted(sorted, 0.90);
+  stats.p99 = percentile_sorted(sorted, 0.99);
   return stats;
 }
 

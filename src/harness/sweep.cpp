@@ -1,0 +1,168 @@
+#include "harness/sweep.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "channel/rng.h"
+#include "harness/csv.h"
+#include "harness/parallel.h"
+
+namespace crp::harness {
+
+namespace {
+
+std::string size_source_label(const SweepSizes& sizes) {
+  if (!sizes.name.empty()) return sizes.name;
+  return sizes.distribution != nullptr ? "drawn"
+                                       : "k=" + std::to_string(sizes.fixed_k);
+}
+
+Measurement run_cell(const SweepCell& cell, std::size_t trials,
+                     std::uint64_t cell_seed, std::size_t threads,
+                     NoCdEngine engine) {
+  const MeasureOptions options{
+      .max_rounds = cell.max_rounds, .threads = threads, .engine = engine};
+  if (cell.algorithm.schedule != nullptr) {
+    return cell.sizes.distribution != nullptr
+               ? measure_uniform_no_cd(*cell.algorithm.schedule,
+                                       *cell.sizes.distribution, trials,
+                                       cell_seed, options)
+               : measure_uniform_no_cd_fixed_k(*cell.algorithm.schedule,
+                                               cell.sizes.fixed_k, trials,
+                                               cell_seed, options);
+  }
+  if (cell.algorithm.policy != nullptr) {
+    return cell.sizes.distribution != nullptr
+               ? measure_uniform_cd(*cell.algorithm.policy,
+                                    *cell.sizes.distribution, trials,
+                                    cell_seed, options)
+               : measure_uniform_cd_fixed_k(*cell.algorithm.policy,
+                                            cell.sizes.fixed_k, trials,
+                                            cell_seed, options);
+  }
+  throw std::invalid_argument("sweep cell '" + cell.algorithm.name +
+                              "' names neither a schedule nor a policy");
+}
+
+}  // namespace
+
+SweepGrid& SweepGrid::add_algorithm(SweepAlgorithm algorithm) {
+  algorithms_.push_back(std::move(algorithm));
+  return *this;
+}
+
+SweepGrid& SweepGrid::add_sizes(SweepSizes sizes) {
+  sizes_.push_back(std::move(sizes));
+  return *this;
+}
+
+SweepGrid& SweepGrid::add_budget(std::size_t max_rounds) {
+  budgets_.push_back(max_rounds);
+  return *this;
+}
+
+SweepGrid& SweepGrid::add_cell(SweepCell cell) {
+  cells_.push_back(std::move(cell));
+  return *this;
+}
+
+std::vector<SweepCell> SweepGrid::cells() const {
+  std::vector<SweepCell> cells = cells_;
+  const std::vector<std::size_t> budgets =
+      budgets_.empty() ? std::vector<std::size_t>{1 << 20} : budgets_;
+  for (const auto& algorithm : algorithms_) {
+    for (const auto& sizes : sizes_) {
+      for (const std::size_t budget : budgets) {
+        cells.push_back(SweepCell{
+            .algorithm = algorithm, .sizes = sizes, .max_rounds = budget});
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<SweepResult> run_sweep(std::span<const SweepCell> cells,
+                                   const SweepOptions& options) {
+  std::vector<SweepResult> results(cells.size());
+  const std::size_t workers =
+      options.threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : options.threads;
+  // Wide grids keep every worker busy with whole cells; narrow grids
+  // parallelize inside each measurement instead. Identical results
+  // either way: a cell's outcome is a function of (cell, cell seed,
+  // trials) only.
+  const bool cells_in_parallel = cells.size() >= workers;
+  const std::size_t inner_threads = cells_in_parallel ? 1 : options.threads;
+  const auto execute = [&](std::size_t i) {
+    const SweepCell& cell = cells[i];
+    const std::uint64_t stream =
+        cell.seed_stream == kSeedStreamFromIndex ? i : cell.seed_stream;
+    const std::uint64_t cell_seed =
+        channel::derive_stream_seed(options.seed, stream);
+    const std::size_t trials = cell.trials != 0 ? cell.trials : options.trials;
+    results[i] = SweepResult{
+        .cell = cell,
+        .cell_index = i,
+        .cell_seed = cell_seed,
+        .measurement =
+            run_cell(cell, trials, cell_seed, inner_threads, options.engine)};
+  };
+  if (cells_in_parallel) {
+    // One cell per block: a cell is thousands of trials, so the claim
+    // overhead is irrelevant and every worker gets its own cell
+    // (parallel_trials' 32-wide chunks would lump small grids onto one
+    // worker).
+    parallel_blocks(
+        cells.size(), options.threads,
+        [&execute](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) execute(i);
+        },
+        /*block_size=*/1);
+  } else {
+    for (std::size_t i = 0; i < cells.size(); ++i) execute(i);
+  }
+  return results;
+}
+
+std::vector<SweepResult> run_sweep(const SweepGrid& grid,
+                                   const SweepOptions& options) {
+  const auto cells = grid.cells();
+  return run_sweep(std::span<const SweepCell>(cells), options);
+}
+
+Table sweep_table(std::span<const SweepResult> results) {
+  Table table({"algorithm", "sizes", "budget", "trials", "mean", "ci95",
+               "p50", "p90", "p99", "solved"});
+  for (const auto& result : results) {
+    const auto& m = result.measurement;
+    table.add_row({result.cell.algorithm.name,
+                   size_source_label(result.cell.sizes),
+                   fmt(result.cell.max_rounds), fmt(m.trials),
+                   fmt(m.rounds.mean, 2), fmt(m.rounds.ci95, 2),
+                   fmt(m.rounds.p50, 1), fmt(m.rounds.p90, 1),
+                   fmt(m.rounds.p99, 1),
+                   fmt(100.0 * m.success_rate, 1) + "%"});
+  }
+  return table;
+}
+
+void write_sweep_csv(std::ostream& out,
+                     std::span<const SweepResult> results) {
+  auto header = CsvWriter::measurement_header();
+  header.insert(header.begin(), {"algorithm", "sizes", "budget", "trials"});
+  CsvWriter writer(out, std::move(header));
+  for (const auto& result : results) {
+    auto cells = CsvWriter::measurement_cells(result.measurement);
+    cells.insert(cells.begin(),
+                 {result.cell.algorithm.name,
+                  size_source_label(result.cell.sizes),
+                  std::to_string(result.cell.max_rounds),
+                  std::to_string(result.measurement.trials)});
+    writer.row(cells);
+  }
+}
+
+}  // namespace crp::harness

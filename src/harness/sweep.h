@@ -1,0 +1,126 @@
+// Sweep-level scheduler: declare a whole grid of measurement
+// configurations — algorithm (schedule or policy) × size source ×
+// round budget — and execute the cells across the thread pool in one
+// call, collecting one Measurement per cell.
+//
+// This is the execution layer the paper's Table 1/2 and divergence
+// sweeps run on: each bench declares its grid, run_sweep() schedules
+// the cells, and the results feed harness/table.h rows or
+// harness/csv.h exports directly.
+//
+// Determinism: every cell measures under its own seed, derived from
+// (options.seed, the cell's seed stream) with the same splitmix mixing
+// the per-trial streams use. A cell's result therefore depends only on
+// its own configuration — not on execution order, thread count, or
+// which other cells share the grid — and an entire sweep is replayable
+// from one master seed (tests/sweep_test.cpp pins this down). Cells
+// default their seed stream to their grid index; pin seed_stream
+// explicitly when a grid is built dynamically (e.g. filtered by a CLI
+// flag) and cells must keep stable seeds regardless of which others
+// are present.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harness/measure.h"
+#include "harness/table.h"
+#include "info/distribution.h"
+
+namespace crp::harness {
+
+/// Sentinel: derive the cell's seed from its index in the grid.
+inline constexpr std::uint64_t kSeedStreamFromIndex = ~std::uint64_t{0};
+
+/// One algorithm under test: exactly one of schedule/policy is
+/// non-null (uniform no-CD vs uniform CD). Referenced objects must
+/// outlive the sweep.
+struct SweepAlgorithm {
+  std::string name;
+  const channel::ProbabilitySchedule* schedule = nullptr;
+  const channel::CollisionPolicy* policy = nullptr;
+};
+
+/// One workload: sizes drawn from a distribution (non-null) or fixed
+/// at fixed_k. Referenced objects must outlive the sweep.
+struct SweepSizes {
+  std::string name;
+  const info::SizeDistribution* distribution = nullptr;
+  std::size_t fixed_k = 0;
+};
+
+/// One grid cell: an algorithm evaluated against a workload at a round
+/// budget.
+struct SweepCell {
+  SweepAlgorithm algorithm;
+  SweepSizes sizes;
+  std::size_t max_rounds = 1 << 20;
+  /// Trials for this cell; 0 = SweepOptions::trials.
+  std::size_t trials = 0;
+  /// Seed stream identity (see header comment).
+  std::uint64_t seed_stream = kSeedStreamFromIndex;
+};
+
+/// Declarative grid builder: axes cross-multiply, explicit cells (for
+/// paired sweeps such as Table 1's per-entropy-point schedule ×
+/// matching lifted distribution) append as declared.
+class SweepGrid {
+ public:
+  SweepGrid& add_algorithm(SweepAlgorithm algorithm);
+  SweepGrid& add_sizes(SweepSizes sizes);
+  SweepGrid& add_budget(std::size_t max_rounds);
+  SweepGrid& add_cell(SweepCell cell);
+
+  /// The explicit cells, followed by the cross product algorithm ×
+  /// sizes × budget (budgets default to {1 << 20} when none declared).
+  std::vector<SweepCell> cells() const;
+
+ private:
+  std::vector<SweepAlgorithm> algorithms_;
+  std::vector<SweepSizes> sizes_;
+  std::vector<std::size_t> budgets_;
+  std::vector<SweepCell> cells_;
+};
+
+/// Execution knobs for a whole sweep.
+struct SweepOptions {
+  /// Default trials per cell (cells may override).
+  std::size_t trials = 6000;
+  /// Master seed; per-cell seeds derive from it.
+  std::uint64_t seed = 1;
+  /// Worker threads for the whole sweep (0 = all hardware threads).
+  std::size_t threads = 0;
+  /// Engine for the uniform no-CD cells (CD cells ignore it).
+  NoCdEngine engine = NoCdEngine::kBatch;
+};
+
+/// One executed cell.
+struct SweepResult {
+  SweepCell cell;
+  std::size_t cell_index = 0;
+  std::uint64_t cell_seed = 0;  ///< the derived seed the cell ran under
+  Measurement measurement;
+};
+
+/// Executes every cell and returns results in cell order. Grids with
+/// at least as many cells as workers hand whole cells to the pool;
+/// smaller grids run cells in order and parallelize inside each
+/// measurement — the results are identical either way.
+std::vector<SweepResult> run_sweep(std::span<const SweepCell> cells,
+                                   const SweepOptions& options = {});
+std::vector<SweepResult> run_sweep(const SweepGrid& grid,
+                                   const SweepOptions& options = {});
+
+/// Renders one row per cell: algorithm, sizes, budget, trials, then
+/// the measurement summary columns.
+Table sweep_table(std::span<const SweepResult> results);
+
+/// CSV export with the same columns (harness/csv.h measurement cells).
+void write_sweep_csv(std::ostream& out,
+                     std::span<const SweepResult> results);
+
+}  // namespace crp::harness

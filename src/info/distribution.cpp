@@ -89,7 +89,19 @@ SizeDistribution::SizeDistribution(std::vector<double> probs)
     throw std::invalid_argument("sizes 0 and 1 must carry no mass (k >= 2)");
   }
   validate_probability_vector(probs_);
-  cumulative_ = inclusive_prefix_sums(probs_);
+  // Compact inverse-CDF table: one (cumulative, size) entry per
+  // positive-mass size. The running sum includes the zero entries, so
+  // each stored cumulative equals the full-table prefix sum at that
+  // size; the last entry is forced to 1.0 to absorb float drift.
+  double sum = 0.0;
+  for (std::size_t k = 2; k < probs_.size(); ++k) {
+    if (probs_[k] > 0.0) {
+      sum += probs_[k];
+      support_cum_.push_back(sum);
+      support_sizes_.push_back(static_cast<std::uint32_t>(k));
+    }
+  }
+  support_cum_.back() = 1.0;
 }
 
 SizeDistribution SizeDistribution::from_pairs(
@@ -138,14 +150,16 @@ CondensedDistribution SizeDistribution::condense() const {
 }
 
 std::size_t SizeDistribution::sample(std::mt19937_64& rng) const {
-  return sample_from_cumulative(cumulative_, rng);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  return sample_at(unit(rng));
 }
 
 std::size_t SizeDistribution::sample_at(double u) const {
   if (!(u >= 0.0 && u < 1.0)) {
     throw std::invalid_argument("uniform draw outside [0, 1)");
   }
-  return index_at(cumulative_, u);
+  const std::size_t j = index_at(support_cum_, u);
+  return support_sizes_[j];
 }
 
 double SizeDistribution::mean() const {

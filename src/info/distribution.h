@@ -80,6 +80,19 @@ class SizeDistribution {
   /// measurement fast path uses channel::SplitMix64 streams).
   std::size_t sample_at(double u) const;
 
+  /// Compact inverse-CDF view over the support only: parallel arrays of
+  /// the positive-mass sizes (ascending) and their inclusive cumulative
+  /// probabilities (last entry forced to 1.0 against float drift).
+  /// sample_at(u) == support_sizes()[j] for the smallest j with
+  /// support_cumulative()[j] >= u; columnar engines (channel/engine.h)
+  /// search this table inline and cache per-support-slot state by j.
+  std::span<const double> support_cumulative() const {
+    return support_cum_;
+  }
+  std::span<const std::uint32_t> support_sizes() const {
+    return support_sizes_;
+  }
+
   /// Expected size E[X].
   double mean() const;
 
@@ -90,8 +103,13 @@ class SizeDistribution {
   std::string describe() const;
 
  private:
-  std::vector<double> probs_;       // probs_[k] = Pr(X = k)
-  std::vector<double> cumulative_;  // inclusive prefix sums for sampling
+  std::vector<double> probs_;  // probs_[k] = Pr(X = k)
+  // Compact inverse-CDF table (see support_cumulative()): sampling
+  // searches support_size() entries instead of n + 1, which keeps the
+  // whole table cache-resident for the condensed/lifted distributions
+  // the paper's sweeps use (~log n support points).
+  std::vector<double> support_cum_;
+  std::vector<std::uint32_t> support_sizes_;
 };
 
 /// The condensed random variable c(X) over the range alphabet

@@ -94,6 +94,28 @@ TEST(ExactWorstCaseTest, AllSizesTakesTheMaximum) {
   EXPECT_TRUE(worst.all_solved);
 }
 
+TEST(ExactWorstCaseTest, ParallelEnumerationMatchesSerial) {
+  // The block-parallel enumeration (rank unranking + lexicographic
+  // advance) must reproduce the serial scan exactly — maximum, witness
+  // (first maximum in rank order), set count, and all_solved — at any
+  // thread count, including thread counts that do not divide the
+  // C(n, k) = 41664 sets here.
+  constexpr std::size_t n = 64;
+  constexpr std::size_t b = 2;
+  const core::SubtreeScanProtocol protocol(n, b);
+  const core::MinIdPrefixAdvice advice(n, b);
+  const auto serial =
+      exact_worst_case(protocol, advice, n, 3, false, 1 << 16, 1);
+  for (std::size_t threads : {2ul, 5ul, 8ul}) {
+    const auto parallel =
+        exact_worst_case(protocol, advice, n, 3, false, 1 << 16, threads);
+    EXPECT_EQ(parallel.rounds, serial.rounds) << "threads=" << threads;
+    EXPECT_EQ(parallel.witness, serial.witness) << "threads=" << threads;
+    EXPECT_EQ(parallel.sets_checked, serial.sets_checked);
+    EXPECT_EQ(parallel.all_solved, serial.all_solved);
+  }
+}
+
 TEST(ExactWorstCaseTest, ValidatesArguments) {
   const baselines::RoundRobinProtocol protocol(8);
   const core::MinIdPrefixAdvice advice(8, 0);

@@ -143,7 +143,8 @@ TEST_P(ScheduleProperties, ScheduleIsDeterministic) {
 }
 
 TEST_P(ScheduleProperties, EventuallySolvesAFeasibleSize) {
-  const auto& test_case = schedule_zoo()[GetParam()];
+  const auto cases = schedule_zoo();  // keep the zoo alive past [i]
+  const auto& test_case = cases[GetParam()];
   const auto schedule = test_case.make();
   // Pick a size the schedule can plausibly serve: truncated variants
   // without fallback only cover their group, so probe a size in range
@@ -192,7 +193,8 @@ TEST_P(PolicyProperties, ReplayIsAPureFunctionOfHistory) {
 }
 
 TEST_P(PolicyProperties, SolvesAFeasibleSizeUnderSimulation) {
-  const auto& test_case = policy_zoo()[GetParam()];
+  const auto cases = policy_zoo();  // keep the zoo alive past [i]
+  const auto& test_case = cases[GetParam()];
   const auto policy = test_case.make();
   const bool truncated = test_case.name == "truncated-willard";
   // Truncated group covers ranges 5..8 -> pick k in range 6.

@@ -1,0 +1,184 @@
+// The sweep scheduler (harness/sweep.h): per-cell derived seeds make a
+// whole grid replayable from one master seed, independent of thread
+// count, execution order, and grid composition; results line up with
+// direct measure_* calls; and the table/CSV renderers emit one row per
+// cell.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "baselines/decay.h"
+#include "baselines/willard.h"
+#include "channel/rng.h"
+#include "harness/sweep.h"
+#include "info/distribution.h"
+
+namespace crp::harness {
+namespace {
+
+void expect_identical(const Measurement& a, const Measurement& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.success_rate, b.success_rate);
+  EXPECT_EQ(a.rounds.mean, b.rounds.mean);
+  EXPECT_EQ(a.rounds.p90, b.rounds.p90);
+}
+
+/// A small mixed grid: two schedules and one policy crossed with two
+/// workloads.
+struct Fixture {
+  Fixture()
+      : decay(1 << 10),
+        slow_decay(1 << 6),
+        willard(1 << 10),
+        uniform(info::SizeDistribution::uniform(1 << 10)) {}
+
+  SweepGrid grid() const {
+    SweepGrid grid;
+    grid.add_algorithm({.name = "decay", .schedule = &decay})
+        .add_algorithm({.name = "slow-decay", .schedule = &slow_decay})
+        .add_algorithm({.name = "willard", .policy = &willard})
+        .add_sizes({.name = "uniform", .distribution = &uniform})
+        .add_sizes({.name = "k=100", .fixed_k = 100})
+        .add_budget(1 << 12);
+    return grid;
+  }
+
+  baselines::DecaySchedule decay;
+  baselines::DecaySchedule slow_decay;
+  baselines::WillardPolicy willard;
+  info::SizeDistribution uniform;
+};
+
+TEST(Sweep, GridCrossProductShape) {
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  ASSERT_EQ(cells.size(), 6u);  // 3 algorithms x 2 workloads x 1 budget
+  EXPECT_EQ(cells[0].algorithm.name, "decay");
+  EXPECT_EQ(cells[0].sizes.name, "uniform");
+  EXPECT_EQ(cells[0].max_rounds, std::size_t{1} << 12);
+  EXPECT_EQ(cells.back().algorithm.name, "willard");
+  EXPECT_EQ(cells.back().sizes.fixed_k, 100u);
+}
+
+TEST(Sweep, ExplicitCellsPrecedeCrossProduct) {
+  const Fixture f;
+  SweepGrid grid;
+  grid.add_cell({.algorithm = {.name = "paired", .schedule = &f.decay},
+                 .sizes = {.name = "k=7", .fixed_k = 7}});
+  grid.add_algorithm({.name = "decay", .schedule = &f.decay})
+      .add_sizes({.name = "uniform", .distribution = &f.uniform});
+  const auto cells = grid.cells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].algorithm.name, "paired");
+  EXPECT_EQ(cells[1].algorithm.name, "decay");
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  // Same grid, same master seed, every threading regime — including
+  // threads > cells (inner parallelism) and 1 < threads <= cells
+  // (whole cells on the pool) — must produce identical measurements.
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  const auto reference =
+      run_sweep(cells, {.trials = 600, .seed = 31, .threads = 1});
+  ASSERT_EQ(reference.size(), cells.size());
+  for (const std::size_t threads : {2ul, 3ul, 16ul}) {
+    const auto pooled =
+        run_sweep(cells, {.trials = 600, .seed = 31, .threads = threads});
+    ASSERT_EQ(pooled.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      expect_identical(reference[i].measurement, pooled[i].measurement);
+      EXPECT_EQ(reference[i].cell_seed, pooled[i].cell_seed);
+    }
+  }
+}
+
+TEST(Sweep, CellsMatchDirectMeasurement) {
+  // A sweep is exactly the corresponding measure_* calls at the
+  // derived per-cell seeds.
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  const SweepOptions options{.trials = 500, .seed = 77, .threads = 1};
+  const auto results = run_sweep(cells, options);
+  const MeasureOptions direct{.max_rounds = 1 << 12, .threads = 1};
+  expect_identical(
+      results[0].measurement,
+      measure_uniform_no_cd(f.decay, f.uniform, 500,
+                            channel::derive_stream_seed(77, 0), direct));
+  expect_identical(results[1].measurement,
+                   measure_uniform_no_cd_fixed_k(
+                       f.decay, 100, 500,
+                       channel::derive_stream_seed(77, 1), direct));
+  expect_identical(
+      results[5].measurement,
+      measure_uniform_cd_fixed_k(f.willard, 100, 500,
+                                 channel::derive_stream_seed(77, 5),
+                                 direct));
+}
+
+TEST(Sweep, PinnedSeedStreamsSurviveGridFiltering) {
+  // A cell with an explicit seed_stream measures identically no matter
+  // which other cells share the grid (the crp_sim registry contract).
+  const Fixture f;
+  const SweepCell pinned{.algorithm = {.name = "decay",
+                                       .schedule = &f.decay},
+                         .sizes = {.name = "uniform",
+                                   .distribution = &f.uniform},
+                         .max_rounds = 1 << 12,
+                         .seed_stream = 42};
+  const SweepCell other{.algorithm = {.name = "willard",
+                                      .policy = &f.willard},
+                        .sizes = {.name = "k=100", .fixed_k = 100},
+                        .max_rounds = 1 << 12};
+  const SweepOptions options{.trials = 400, .seed = 5, .threads = 1};
+  const std::vector<SweepCell> alone{pinned};
+  const std::vector<SweepCell> paired{other, pinned};
+  const auto r_alone = run_sweep(alone, options);
+  const auto r_paired = run_sweep(paired, options);
+  expect_identical(r_alone[0].measurement, r_paired[1].measurement);
+  EXPECT_EQ(r_alone[0].cell_seed, r_paired[1].cell_seed);
+}
+
+TEST(Sweep, PerCellTrialOverrides) {
+  const Fixture f;
+  SweepGrid grid;
+  grid.add_cell({.algorithm = {.name = "decay", .schedule = &f.decay},
+                 .sizes = {.fixed_k = 50},
+                 .max_rounds = 1 << 12,
+                 .trials = 123});
+  const auto results =
+      run_sweep(grid.cells(), {.trials = 999, .seed = 1, .threads = 1});
+  EXPECT_EQ(results[0].measurement.trials, 123u);
+}
+
+TEST(Sweep, RejectsAlgorithmlessCells) {
+  const Fixture f;
+  const std::vector<SweepCell> cells{
+      SweepCell{.algorithm = {.name = "nothing"},
+                .sizes = {.distribution = &f.uniform}}};
+  EXPECT_THROW(run_sweep(cells, {.trials = 10, .threads = 1}),
+               std::invalid_argument);
+}
+
+TEST(Sweep, TableAndCsvEmitOneRowPerCell) {
+  const Fixture f;
+  const auto results =
+      run_sweep(f.grid().cells(), {.trials = 200, .seed = 9, .threads = 1});
+  const Table table = sweep_table(results);
+  EXPECT_EQ(table.rows(), results.size());
+  EXPECT_EQ(table.columns(), 10u);
+
+  std::ostringstream csv;
+  write_sweep_csv(csv, results);
+  std::size_t lines = 0;
+  std::string line;
+  std::istringstream in(csv.str());
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, results.size() + 1);  // header + one per cell
+  EXPECT_NE(csv.str().find("algorithm,sizes,budget,trials,mean"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace crp::harness
