@@ -186,6 +186,59 @@ void print_faulty_advice() {
 
 // ---- microbenchmarks ----
 
+// The Table 2 randomized-CD sweep (truncated Willard at advice budgets
+// b = 0..4, fixed k) once per engine: the per-round Markov simulation
+// adapter vs the cached history-tree sampler
+// (channel/history_engine.h), at equal trials. The pair quantifies the
+// CD fast path the same way BM_Table1NoCdSweep* quantifies the no-CD
+// one; bench/results/BENCH_table2.json tracks both.
+void run_cd_sweep(benchmark::State& state,
+                  crp::harness::CdEngine cd_engine) {
+  constexpr std::size_t n = 1 << 16;
+  constexpr std::size_t k = 2500;
+  constexpr std::size_t trials = 6000;
+  std::vector<std::size_t> participants(k);
+  for (std::size_t i = 0; i < k; ++i) participants[i] = i;
+
+  struct WillardPoint {
+    WillardPoint(std::size_t n, std::size_t b,
+                 const std::vector<std::size_t>& participants)
+        : advice(n, b),
+          willard(advice.ranges_in_group(
+              crp::core::bits_to_index(advice.advise(participants)))) {}
+    crp::core::RangeGroupAdvice advice;
+    crp::core::TruncatedWillardPolicy willard;
+  };
+  std::vector<WillardPoint> points;
+  for (const std::size_t b : {0, 1, 2, 3, 4}) {
+    points.emplace_back(n, b, participants);
+  }
+  crp::harness::SweepGrid grid;
+  for (const auto& point : points) {
+    grid.add_cell({.algorithm = {.name = "trunc-willard",
+                                 .policy = &point.willard},
+                   .sizes = {.fixed_k = k},
+                   .max_rounds = 1 << 12});
+  }
+  const auto cells = grid.cells();
+  for (auto _ : state) {
+    const auto results = crp::harness::run_sweep(
+        cells, {.trials = trials, .seed = kSeed + 2,
+                .cd_engine = cd_engine});
+    benchmark::DoNotOptimize(results.back().measurement.rounds.mean);
+  }
+}
+
+void BM_Table2CdSweepSimulated(benchmark::State& state) {
+  run_cd_sweep(state, crp::harness::CdEngine::kSimulate);
+}
+BENCHMARK(BM_Table2CdSweepSimulated)->Unit(benchmark::kMillisecond);
+
+void BM_Table2CdTreeSweep(benchmark::State& state) {
+  run_cd_sweep(state, crp::harness::CdEngine::kHistoryTree);
+}
+BENCHMARK(BM_Table2CdTreeSweep)->Unit(benchmark::kMillisecond);
+
 void BM_SubtreeScanWorstCase(benchmark::State& state) {
   constexpr std::size_t n = 1 << 10;
   const std::size_t b = static_cast<std::size_t>(state.range(0));

@@ -26,6 +26,20 @@
 // tests/batch_engine_test.cpp cross-validates the distributions against
 // the binomial and per-player engines and the exact profiles of
 // harness/exact.h.
+//
+/// Ownership: the sampler borrows its schedule (which must outlive
+/// it) and owns every table it tabulates; snapshot() hands out
+/// shared_ptrs that keep a table alive after the cache replaces it.
+///
+/// Thread-safety: one sampler serves any number of threads — the
+/// schedule/table caches grow under a shared mutex, snapshots are
+/// immutable, and search() is pure.
+///
+/// Determinism: sample() consumes a fixed draw order (one uniform per
+/// outcome, optional conditional-binomial energy draws) from the
+/// caller's engine and derives nothing else, so results are a pure
+/// function of (schedule, k, rng state, options) — cache state and
+/// tabulation order never affect a result, only its cost.
 #pragma once
 
 #include <cstdint>

@@ -11,9 +11,7 @@
 
 namespace crp::channel {
 
-namespace {
-
-void validate_block(const TrialBlock& block) {
+void validate_trial_block(const TrialBlock& block) {
   if (block.rounds.size() != block.size() ||
       (!block.transmissions.empty() &&
        block.transmissions.size() != block.size())) {
@@ -24,13 +22,15 @@ void validate_block(const TrialBlock& block) {
   }
 }
 
+namespace {
+
 /// Shared body of the exact-simulator adapters: per trial, one derived
 /// mt19937_64 stream feeding the k draw (when drawn) and the scalar
 /// run — exactly the draw order of the scalar Trial path, so results
 /// are bit-identical to it.
 template <typename Run>
 void run_scalar_adapter(TrialBlock& block, const Run& run) {
-  validate_block(block);
+  validate_trial_block(block);
   const info::SizeDistribution* dist = block.sizes.distribution;
   const SimOptions options{.max_rounds = block.max_rounds};
   for (std::size_t t = 0; t < block.size(); ++t) {
@@ -55,7 +55,7 @@ void run_adapter_block(
 }
 
 void BatchColumnarEngine::run_many(TrialBlock& block) const {
-  validate_block(block);
+  validate_trial_block(block);
   const std::size_t count = block.size();
   const info::SizeDistribution* dist = block.sizes.distribution;
 

@@ -15,12 +15,23 @@
 // trial; the exact simulators get adapter engines so every engine is
 // driven through the same block interface.
 //
-// Replayability contract: an engine derives trial t's randomness only
-// from (block.seed, block.first_trial + t) — the same streams the
-// scalar measurement paths use — so results are independent of block
-// partition, execution order, and thread count, and each engine is
-// bit-compatible with its scalar counterpart at a fixed seed
-// (tests/columnar_engine_test.cpp pins this down).
+/// Ownership: engines borrow their schedule/policy (which must outlive
+/// them; BatchColumnarEngine owns its sampler) and never own a block's
+/// columns — TrialBlock spans are caller-owned views into sweep-wide
+/// arrays.
+///
+/// Thread-safety: every Engine must be safe to call concurrently on
+/// disjoint blocks; the engines here are (the analytic engine's table
+/// cache is internally synchronized, the adapters are stateless per
+/// call).
+///
+/// Determinism: an engine derives trial t's randomness only from
+/// (block.seed, block.first_trial + t) — the same streams the scalar
+/// measurement paths use — so results are independent of block
+/// partition, execution order, and thread count, and each engine is
+/// bit-compatible with its scalar counterpart at a fixed seed
+/// (tests/columnar_engine_test.cpp pins this down). This is the
+/// contract docs/ARCHITECTURE.md requires of every future engine.
 #pragma once
 
 #include <cstddef>
@@ -71,6 +82,11 @@ class Engine {
   /// Fills every result column of `block`.
   virtual void run_many(TrialBlock& block) const = 0;
 };
+
+/// Validates a block's column lengths and size source; throws
+/// std::invalid_argument on inconsistency. Every run_many()
+/// implementation in the library calls this first.
+void validate_trial_block(const TrialBlock& block);
 
 /// Shared run_many() body for adapter engines built on the exact
 /// simulators: validates the block, then per trial derives one
@@ -135,9 +151,12 @@ class PerPlayerColumnarEngine final : public Engine {
   const ProbabilitySchedule& schedule_;
 };
 
-/// Adapter for uniform collision-detection policies. CD executions are
-/// history-dependent Markov chains, so there is no analytic fast path;
-/// the adapter still removes the harness' per-trial dispatch.
+/// Adapter for uniform collision-detection policies: the exact
+/// per-round Markov simulation, driven through the block interface.
+/// The analytic counterpart is channel/history_engine.h's
+/// HistoryTreeEngine, which samples from a cached expansion of the
+/// same chain (and falls back to this adapter's per-round semantics
+/// wherever the expansion cannot answer exactly).
 class CollisionPolicyColumnarEngine final : public Engine {
  public:
   /// The policy must outlive the engine.

@@ -1,0 +1,177 @@
+#include "channel/history_engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "channel/rng.h"
+#include "harness/exact.h"
+#include "info/distribution.h"
+
+namespace crp::channel {
+
+namespace {
+
+/// Continues one execution by exact per-round simulation from
+/// `history`: the same Markov chain the per-round CD simulator runs,
+/// sampled through the outcome trichotomy (a uniform CD policy only
+/// ever observes the feedback, so the trichotomy is the whole round).
+/// Returns the 1-based solve round, or 0 when the budget runs out.
+std::size_t simulate_from(const CollisionPolicy& policy, std::size_t k,
+                          BitString& history, std::size_t budget,
+                          SplitMix64& rng,
+                          std::uniform_real_distribution<double>& unit) {
+  for (std::size_t round = history.size(); round < budget; ++round) {
+    const auto outcome =
+        harness::round_outcome_probabilities(k, policy.probability(history));
+    const double u = unit(rng);
+    if (u < outcome.success) return round + 1;
+    history.push_back(u >= outcome.success + outcome.silence);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::pair<std::shared_ptr<const harness::HistoryTree>,
+          HistoryTreeEngine::Mode>
+HistoryTreeEngine::tree_for(std::size_t k, std::size_t max_rounds) const {
+  const std::size_t horizon = std::min(options_.depth_cap, max_rounds);
+  const auto key = std::make_pair(k, horizon);
+  std::shared_ptr<const harness::HistoryTree> tree;
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = trees_.find(key);
+    if (it != trees_.end()) tree = it->second;
+  }
+  if (tree == nullptr) {
+    // Expand outside the lock so a large expansion never serializes
+    // cached reads or other keys' builds. Racing builders may expand
+    // the same key concurrently — the expansion is deterministic, so
+    // they produce identical trees and the first insert wins.
+    harness::HistoryTreeOptions expand;
+    expand.horizon = horizon;
+    expand.prune_below = options_.prune_below;
+    expand.threads = options_.expand_threads;
+    expand.max_nodes = options_.max_nodes;
+    auto built = std::make_shared<const harness::HistoryTree>(
+        harness::expand_history_tree(policy_, k, expand));
+    std::unique_lock lock(mutex_);
+    auto& slot = trees_[key];
+    if (slot == nullptr) slot = std::move(built);
+    tree = slot;
+  }
+
+  if (tree->truncated) return {tree, Mode::kSimulate};
+  // Frontier mass is exactly "unsolved at the budget" when the budget
+  // equals the expansion horizon; it only becomes unresolved when the
+  // execution would continue past the cap.
+  const double unresolved =
+      tree->pruned_mass + (max_rounds > horizon ? tree->frontier_mass : 0.0);
+  return {tree,
+          unresolved <= options_.resolve_epsilon ? Mode::kInverseCdf
+                                                 : Mode::kWalk};
+}
+
+void HistoryTreeEngine::run_many(TrialBlock& block) const {
+  validate_trial_block(block);
+  const std::size_t count = block.size();
+  const info::SizeDistribution* dist = block.sizes.distribution;
+
+  // One (tree, mode) fetch per distinct participant count per block —
+  // the same snapshot discipline as the no-CD batch engine.
+  using Entry = std::pair<std::shared_ptr<const harness::HistoryTree>, Mode>;
+  std::vector<Entry> slots;
+  std::vector<std::size_t> slot_k;
+  if (dist != nullptr) {
+    const auto sizes = dist->support_sizes();
+    slots.assign(sizes.size(), {nullptr, Mode::kSimulate});
+    slot_k.assign(sizes.begin(), sizes.end());
+  } else {
+    slots.assign(1, {nullptr, Mode::kSimulate});
+    slot_k.assign(1, block.sizes.fixed_k);
+  }
+
+  std::span<const double> cum;
+  if (dist != nullptr) cum = dist->support_cumulative();
+
+  BitString path;  // scratch history for the walk / simulation modes
+  path.reserve(64);
+  for (std::size_t t = 0; t < count; ++t) {
+    SplitMix64 rng = derive_fast_rng(block.seed, block.first_trial + t);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+    // Draw order matches BatchColumnarEngine: the participant count
+    // (when drawn) comes first, from the same per-trial stream.
+    std::size_t slot = 0;
+    if (dist != nullptr) {
+      const double uk = unit(rng);
+      slot = static_cast<std::size_t>(
+          std::lower_bound(cum.begin(), cum.end(), uk) - cum.begin());
+    }
+    Entry& entry = slots[slot];
+    if (entry.first == nullptr) {
+      entry = tree_for(slot_k[slot], block.max_rounds);
+    }
+    const harness::HistoryTree& tree = *entry.first;
+    const std::size_t k = slot_k[slot];
+
+    std::size_t round = 0;  // 1-based solve round; 0 = unsolved
+    switch (entry.second) {
+      case Mode::kInverseCdf: {
+        const double u = unit(rng);
+        if (u < tree.solved_mass()) {
+          round = static_cast<std::size_t>(
+                      std::upper_bound(tree.solve_cdf.begin(),
+                                       tree.solve_cdf.end(), u) -
+                      tree.solve_cdf.begin()) +
+                  1;
+        }
+        break;
+      }
+      case Mode::kWalk: {
+        path.clear();
+        std::int64_t node = tree.nodes.empty()
+                                ? harness::HistoryTreeNode::kNoChild
+                                : 0;
+        while (node != harness::HistoryTreeNode::kNoChild &&
+               path.size() < block.max_rounds) {
+          const auto& n = tree.nodes[static_cast<std::size_t>(node)];
+          const double u = unit(rng);
+          if (u < n.cum_success) {
+            round = path.size() + 1;
+            break;
+          }
+          const bool collided = u >= n.cum_no_collision;
+          path.push_back(collided);
+          node = collided ? n.collision : n.silence;
+        }
+        if (round == 0 && path.size() < block.max_rounds) {
+          // Left the expansion (pruned branch or depth cap): continue
+          // on the exact per-round simulation from the walked history.
+          round = simulate_from(policy_, k, path, block.max_rounds, rng,
+                                unit);
+        }
+        break;
+      }
+      case Mode::kSimulate: {
+        path.clear();
+        round = simulate_from(policy_, k, path, block.max_rounds, rng, unit);
+        break;
+      }
+    }
+    block.solved[t] = round != 0 ? 1 : 0;
+    block.rounds[t] = round != 0 ? round : block.max_rounds;
+  }
+
+  // Like the no-CD analytic engine, the sampler does not reconstruct
+  // the per-round transmission counts.
+  if (!block.transmissions.empty()) {
+    std::fill(block.transmissions.begin(), block.transmissions.end(), 0);
+  }
+}
+
+}  // namespace crp::channel

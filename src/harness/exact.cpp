@@ -1,7 +1,10 @@
 #include "harness/exact.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "harness/history_tree.h"
 
 namespace crp::harness {
 
@@ -72,59 +75,29 @@ double exact_expected_rounds_no_cd(
 
 ExactProfile exact_profile_cd(const channel::CollisionPolicy& policy,
                               std::size_t k, std::size_t horizon,
-                              double prune_below) {
+                              double prune_below, std::size_t threads) {
+  // The enumeration itself lives in harness/history_tree.h (shared
+  // with the sampling engine); a profile only needs the per-round
+  // masses, so node storage is skipped and no node cap applies.
+  HistoryTreeOptions options;
+  options.horizon = horizon;
+  options.prune_below = prune_below;
+  options.threads = threads;
+  options.store_nodes = false;
+  options.max_nodes = ~std::size_t{0};
+  const HistoryTree tree = expand_history_tree(policy, k, options);
+
   ExactProfile profile;
   profile.solve_by.assign(horizon + 1, 0.0);
   double expectation = 0.0;
-  double solved_mass = 0.0;
-  double pruned_mass = 0.0;
-
-  // Depth-first enumeration of the history tree. Each node carries the
-  // probability of reaching it; children follow silence (bit 0) and
-  // collision (bit 1); success terminates the branch.
-  struct Frame {
-    channel::BitString history;
-    double reach;
-  };
-  std::vector<Frame> stack;
-  stack.push_back({{}, 1.0});
-  std::vector<double> solve_at(horizon, 0.0);  // mass solving in round r
-  while (!stack.empty()) {
-    Frame frame = std::move(stack.back());
-    stack.pop_back();
-    const std::size_t round = frame.history.size();
-    if (round >= horizon) continue;  // contributes to tail via solved sum
-    if (frame.reach < prune_below) {
-      pruned_mass += frame.reach;
-      continue;
-    }
-    const double p = policy.probability(frame.history);
-    const auto outcome = round_outcome_probabilities(k, p);
-    solve_at[round] += frame.reach * outcome.success;
-    if (outcome.silence > 0.0) {
-      Frame child;
-      child.history = frame.history;
-      child.history.push_back(false);
-      child.reach = frame.reach * outcome.silence;
-      stack.push_back(std::move(child));
-    }
-    if (outcome.collision > 0.0) {
-      Frame child;
-      child.history = std::move(frame.history);
-      child.history.push_back(true);
-      child.reach = frame.reach * outcome.collision;
-      stack.push_back(std::move(child));
-    }
-  }
   for (std::size_t r = 0; r < horizon; ++r) {
-    solved_mass += solve_at[r];
-    expectation += solve_at[r] * static_cast<double>(r + 1);
-    profile.solve_by[r + 1] = solved_mass;
+    expectation += tree.solve_at[r] * static_cast<double>(r + 1);
+    profile.solve_by[r + 1] = tree.solve_cdf[r];
   }
-  profile.tail_mass = std::max(0.0, 1.0 - solved_mass);
+  // Pruned and frontier mass both land in the tail by construction.
+  profile.tail_mass = std::max(0.0, 1.0 - tree.solved_mass());
   profile.truncated_expectation =
       expectation + profile.tail_mass * static_cast<double>(horizon + 1);
-  (void)pruned_mass;  // included in tail_mass by construction
   return profile;
 }
 

@@ -1,0 +1,212 @@
+#include "harness/history_tree.h"
+
+#include <atomic>
+#include <utility>
+
+#include "harness/exact.h"
+#include "harness/parallel.h"
+
+namespace crp::harness {
+
+namespace {
+
+/// A pending history to process: the node for it is created when the
+/// frame is popped (and survives the prune check), at which point the
+/// parent's child slot is linked.
+struct Frame {
+  channel::BitString history;
+  double reach = 0.0;
+  std::int64_t parent = HistoryTreeNode::kNoChild;  ///< local node index
+  bool collision_child = false;
+};
+
+/// Accumulators of one expansion unit (the pre-split prefix or one
+/// subtree shard). solve_at is indexed by absolute round, so shards
+/// merge by plain element-wise addition.
+struct Shard {
+  std::vector<HistoryTreeNode> nodes;
+  std::vector<double> solve_at;
+  double pruned = 0.0;
+  double frontier = 0.0;
+  bool truncated = false;
+};
+
+/// Depth-first expansion of every frame on `stack` down to `cap`
+/// rounds. Frames alive at `cap` are captured into `frontier_out`
+/// when provided (the pre-split phase) and otherwise accounted as
+/// frontier mass (cap == horizon). The prune check runs at pop time —
+/// exactly the order the historical exact_profile_cd enumeration used —
+/// so a frame at the cap counts as frontier even when its reach is
+/// below the prune threshold.
+///
+/// `budget` is the frame budget *shared by every shard of one
+/// expansion*: whether the whole expansion needs more than max_nodes
+/// frames is a deterministic property of (policy, k, options), so the
+/// resulting `truncated` flag is scheduling-independent even though
+/// which shard trips the budget first is not — a truncated tree's
+/// partial contents are never consumed.
+void expand_frames(const channel::CollisionPolicy& policy, std::size_t k,
+                   std::vector<Frame>& stack, std::size_t cap,
+                   const HistoryTreeOptions& options,
+                   std::atomic<std::size_t>& budget, Shard& shard,
+                   std::vector<Frame>* frontier_out) {
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const std::size_t depth = frame.history.size();
+    if (depth >= cap) {
+      if (frontier_out != nullptr) {
+        frontier_out->push_back(std::move(frame));
+      } else {
+        shard.frontier += frame.reach;
+      }
+      continue;
+    }
+    if (frame.reach < options.prune_below) {
+      shard.pruned += frame.reach;
+      continue;
+    }
+    if (budget.fetch_add(1, std::memory_order_relaxed) >=
+        options.max_nodes) {
+      shard.truncated = true;
+      return;
+    }
+
+    std::int64_t node_index = HistoryTreeNode::kNoChild;
+    const double p = policy.probability(frame.history);
+    const auto outcome = round_outcome_probabilities(k, p);
+    if (options.store_nodes) {
+      node_index = static_cast<std::int64_t>(shard.nodes.size());
+      HistoryTreeNode node;
+      node.cum_success = outcome.success;
+      node.cum_no_collision = outcome.success + outcome.silence;
+      shard.nodes.push_back(node);
+      if (frame.parent != HistoryTreeNode::kNoChild) {
+        auto& parent = shard.nodes[static_cast<std::size_t>(frame.parent)];
+        (frame.collision_child ? parent.collision : parent.silence) =
+            node_index;
+      }
+    }
+    shard.solve_at[depth] += frame.reach * outcome.success;
+
+    if (outcome.silence > 0.0) {
+      Frame child;
+      child.history = frame.history;
+      child.history.push_back(false);
+      child.reach = frame.reach * outcome.silence;
+      child.parent = node_index;
+      child.collision_child = false;
+      stack.push_back(std::move(child));
+    }
+    if (outcome.collision > 0.0) {
+      Frame child;
+      child.history = std::move(frame.history);
+      child.history.push_back(true);
+      child.reach = frame.reach * outcome.collision;
+      child.parent = node_index;
+      child.collision_child = true;
+      stack.push_back(std::move(child));
+    }
+  }
+}
+
+}  // namespace
+
+HistoryTree expand_history_tree(const channel::CollisionPolicy& policy,
+                                std::size_t k,
+                                const HistoryTreeOptions& options) {
+  HistoryTree tree;
+  tree.k = k;
+  tree.horizon = options.horizon;
+  tree.prune_below = options.prune_below;
+
+  // Phase 1: expand the prefix down to the split depth (or the whole
+  // horizon when it is at most the split depth), capturing the frames
+  // alive at the split as subtree roots.
+  const bool split = options.split_depth < options.horizon;
+  const std::size_t cap = split ? options.split_depth : options.horizon;
+  std::atomic<std::size_t> budget{0};
+  Shard prefix;
+  prefix.solve_at.assign(options.horizon, 0.0);
+  std::vector<Frame> roots;
+  {
+    std::vector<Frame> stack;
+    stack.push_back(Frame{{}, 1.0, HistoryTreeNode::kNoChild, false});
+    expand_frames(policy, k, stack, cap, options, budget, prefix,
+                  split ? &roots : nullptr);
+  }
+  tree.nodes = std::move(prefix.nodes);
+  tree.solve_at = std::move(prefix.solve_at);
+  tree.pruned_mass = prefix.pruned;
+  tree.frontier_mass = prefix.frontier;
+  tree.truncated = prefix.truncated;
+
+  // Phase 2: expand every captured subtree independently. Each shard
+  // owns its accumulators, so workers never share mutable state; the
+  // shard partition (one subtree per block) is fixed, making the fan-
+  // out invisible to the result.
+  std::vector<Shard> shards(roots.size());
+  parallel_blocks(
+      roots.size(), options.threads,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          shards[i].solve_at.assign(options.horizon, 0.0);
+          std::vector<Frame> stack;
+          // The subtree root's parent lives in the prefix node array;
+          // relink at merge time instead of sharing it with the shard.
+          // roots[i] keeps its history (the merge only reads the
+          // parent/collision_child scalars, but moved-from state is
+          // not worth reasoning about).
+          Frame root;
+          root.history = roots[i].history;
+          root.reach = roots[i].reach;
+          stack.push_back(std::move(root));
+          expand_frames(policy, k, stack, options.horizon, options, budget,
+                        shards[i], nullptr);
+        }
+      },
+      /*block_size=*/1);
+
+  // Phase 3: merge in subtree order — index offsets for the node
+  // arrays, element-wise sums for the masses. The order is a function
+  // of the phase-1 capture order only, so the merged tree is identical
+  // at every thread count.
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    Shard& shard = shards[i];
+    const std::int64_t base = static_cast<std::int64_t>(tree.nodes.size());
+    if (options.store_nodes && !shard.nodes.empty()) {
+      for (auto& node : shard.nodes) {
+        if (node.silence != HistoryTreeNode::kNoChild) node.silence += base;
+        if (node.collision != HistoryTreeNode::kNoChild) {
+          node.collision += base;
+        }
+      }
+      // The shard root (local index 0) becomes the captured frame's
+      // parent's child; a pruned shard root leaves the slot kNoChild.
+      const Frame& root = roots[i];
+      if (root.parent != HistoryTreeNode::kNoChild) {
+        auto& parent = tree.nodes[static_cast<std::size_t>(root.parent)];
+        (root.collision_child ? parent.collision : parent.silence) = base;
+      }
+      tree.nodes.insert(tree.nodes.end(), shard.nodes.begin(),
+                        shard.nodes.end());
+    }
+    for (std::size_t r = 0; r < options.horizon; ++r) {
+      tree.solve_at[r] += shard.solve_at[r];
+    }
+    tree.pruned_mass += shard.pruned;
+    tree.frontier_mass += shard.frontier;
+    tree.truncated = tree.truncated || shard.truncated;
+  }
+  if (tree.nodes.size() > options.max_nodes) tree.truncated = true;
+
+  tree.solve_cdf.resize(options.horizon);
+  double cumulative = 0.0;
+  for (std::size_t r = 0; r < options.horizon; ++r) {
+    cumulative += tree.solve_at[r];
+    tree.solve_cdf[r] = cumulative;
+  }
+  return tree;
+}
+
+}  // namespace crp::harness

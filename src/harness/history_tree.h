@@ -1,0 +1,123 @@
+// Shared history-tree expansion for collision-detection policies.
+//
+// A uniform CD execution is a Markov chain over collision histories:
+// after history h the policy transmits with p = policy.probability(h),
+// and the round ends in success (terminating), silence (append 0), or
+// collision (append 1) with the exact trichotomy probabilities of
+// round_outcome_probabilities(k, p). Expanding that chain breadth- or
+// depth-first down to a horizon yields the exact distribution of the
+// solving round — the enumeration harness/exact.h's exact_profile_cd
+// has always performed, refactored here so exact profiling and the
+// sampling engine (channel/history_engine.h) share one expansion.
+//
+// Ownership: expand_history_tree returns a self-contained value; the
+// policy is only dereferenced during the call and need not outlive the
+// returned tree.
+//
+// Thread-safety: expansion may fan out over subtrees rooted at a fixed
+// split depth (HistoryTreeOptions::threads), with per-shard solve/
+// pruned/frontier accumulators merged in deterministic shard order.
+// The returned HistoryTree is immutable and safe to share across
+// threads.
+//
+// Determinism: the expansion (node layout, per-round solve masses, and
+// the pruned/frontier accounting) is a pure function of (policy, k,
+// options.horizon, options.prune_below, options.split_depth,
+// options.max_nodes) — bit-identical at every thread count, because the
+// shard partition and the merge order never depend on scheduling
+// (tests/harness_exact_test.cpp pins serial == parallel).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "channel/protocol.h"
+
+namespace crp::harness {
+
+/// Expansion knobs.
+struct HistoryTreeOptions {
+  /// Expansion depth: rounds [0, horizon) are enumerated; branches
+  /// still alive at `horizon` contribute to frontier_mass.
+  std::size_t horizon = 48;
+  /// Branches whose reach probability drops below this are dropped and
+  /// their mass accounted in pruned_mass (solve_at stays a valid lower
+  /// bound, solve + pruned + frontier an exact partition of 1).
+  double prune_below = 1e-12;
+  /// Worker threads for the subtree fan-out (0 = all hardware threads,
+  /// <= 1 = inline). The result is identical for every value.
+  std::size_t threads = 1;
+  /// Depth at which the expansion splits into independent subtree
+  /// shards. Purely a parallelism granule: the output is the same for
+  /// every value (the serial path runs the identical shard structure).
+  std::size_t split_depth = 8;
+  /// Hard cap on expanded frames across the whole expansion (all
+  /// shards share one budget). When hit, the tree is returned with
+  /// `truncated == true` and must not be sampled from; callers fall
+  /// back to per-round simulation. Guards policies whose trees grow as
+  /// 2^horizon faster than pruning can cut them — the expanded node
+  /// count is on the order of (surviving mass) / prune_below when the
+  /// tree branches freely, which dwarfs any usable cache.
+  std::size_t max_nodes = 1 << 21;
+  /// When false, only the masses (solve_at, pruned, frontier) are
+  /// computed and `nodes` stays empty — what exact_profile_cd needs;
+  /// the sampling engine stores nodes to walk them.
+  bool store_nodes = true;
+};
+
+/// One expanded history node. The cumulative outcome table lets a
+/// sampler resolve the round with a single uniform u in [0, 1):
+/// u < cum_success => success; u < cum_no_collision => silence child;
+/// otherwise collision child.
+struct HistoryTreeNode {
+  double cum_success = 0.0;        ///< Pr(success | node reached)
+  double cum_no_collision = 0.0;   ///< + Pr(silence | node reached)
+  /// Child node indices; kNoChild marks a branch that was pruned or
+  /// lies beyond the horizon (samplers continue by simulation there).
+  std::int64_t silence = -1;
+  std::int64_t collision = -1;
+
+  static constexpr std::int64_t kNoChild = -1;
+};
+
+/// The cached expansion of one (policy, k) pair down to a horizon.
+struct HistoryTree {
+  std::size_t k = 0;
+  std::size_t horizon = 0;
+  double prune_below = 0.0;
+
+  /// Expanded nodes; nodes[0] is the root (empty history). Empty when
+  /// the expansion ran with store_nodes == false.
+  std::vector<HistoryTreeNode> nodes;
+
+  /// solve_at[r] = Pr(execution succeeds in 1-based round r + 1),
+  /// summed over every expanded branch; size horizon.
+  std::vector<double> solve_at;
+  /// Prefix sums of solve_at: solve_cdf[r] = Pr(solved within r + 1
+  /// rounds); size horizon. The inverse-CDF sampling table.
+  std::vector<double> solve_cdf;
+
+  /// Mass dropped by prune_below (fate unknown within the horizon).
+  double pruned_mass = 0.0;
+  /// Mass still alive at exactly `horizon` rounds (unsolved so far).
+  double frontier_mass = 0.0;
+  /// True when max_nodes stopped the expansion; masses and nodes are
+  /// then incomplete and the tree must not be used.
+  bool truncated = false;
+
+  /// Total mass resolved as solved within the horizon.
+  double solved_mass() const {
+    return solve_cdf.empty() ? 0.0 : solve_cdf.back();
+  }
+  /// Mass whose solve round the tree cannot answer exactly.
+  double unresolved_mass() const { return pruned_mass + frontier_mass; }
+};
+
+/// Expands the history tree of `policy` with k participants. See the
+/// file comment for the determinism contract.
+HistoryTree expand_history_tree(const channel::CollisionPolicy& policy,
+                                std::size_t k,
+                                const HistoryTreeOptions& options = {});
+
+}  // namespace crp::harness

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "channel/engine.h"
+#include "channel/history_engine.h"
 #include "channel/rng.h"
 #include "harness/parallel.h"
 
@@ -39,6 +40,18 @@ Measurement measure_no_cd(const channel::ProbabilitySchedule& schedule,
       return measure_blocks(engine, sizes, trials, seed, options);
     }
   }
+}
+
+/// Engine dispatch for the CD helpers, mirroring measure_no_cd.
+Measurement measure_cd(const channel::CollisionPolicy& policy,
+                       const channel::SizeSource& sizes, std::size_t trials,
+                       std::uint64_t seed, const MeasureOptions& options) {
+  if (options.cd_engine == CdEngine::kHistoryTree) {
+    const channel::HistoryTreeEngine engine(policy);
+    return measure_blocks(engine, sizes, trials, seed, options);
+  }
+  const channel::CollisionPolicyColumnarEngine engine(policy);
+  return measure_blocks(engine, sizes, trials, seed, options);
 }
 
 /// Columnar adapter for the Section 3 advice protocols: per trial, one
@@ -196,9 +209,8 @@ Measurement measure_uniform_cd(const channel::CollisionPolicy& policy,
                                const info::SizeDistribution& actual,
                                std::size_t trials, std::uint64_t seed,
                                const MeasureOptions& options) {
-  const channel::CollisionPolicyColumnarEngine engine(policy);
-  return measure_blocks(engine, channel::SizeSource{&actual, 0}, trials,
-                        seed, options);
+  return measure_cd(policy, channel::SizeSource{&actual, 0}, trials, seed,
+                    options);
 }
 
 Measurement measure_uniform_no_cd_fixed_k(
@@ -227,9 +239,8 @@ Measurement measure_uniform_cd_fixed_k(const channel::CollisionPolicy& policy,
                                        std::size_t k, std::size_t trials,
                                        std::uint64_t seed,
                                        const MeasureOptions& options) {
-  const channel::CollisionPolicyColumnarEngine engine(policy);
-  return measure_blocks(engine, channel::SizeSource{nullptr, k}, trials,
-                        seed, options);
+  return measure_cd(policy, channel::SizeSource{nullptr, k}, trials, seed,
+                    options);
 }
 
 std::vector<std::size_t> random_participant_set(std::size_t n, std::size_t k,

@@ -71,6 +71,15 @@ enum class NoCdEngine {
   kBatch,      ///< analytic inverse-CDF sampling (channel/batch.h)
 };
 
+/// Which engine runs a uniform CD trial. Both produce the same
+/// distribution of (solved, rounds); the history-tree sampler consumes
+/// randomness differently, so individual trials at a fixed seed differ
+/// (tests/history_tree_engine_test.cpp cross-validates the two).
+enum class CdEngine {
+  kSimulate,     ///< exact per-round Markov simulation (the adapter)
+  kHistoryTree,  ///< cached history-tree sampler (channel/history_engine.h)
+};
+
 /// Execution knobs for the measure_* helpers. The defaults select the
 /// fast path: the analytic engine where one applies and every hardware
 /// thread; the measured statistics are engine- and thread-count-
@@ -80,10 +89,12 @@ struct MeasureOptions {
   std::size_t max_rounds = 1 << 20;
   /// Worker threads: 1 = serial, 0 = all hardware threads.
   std::size_t threads = 0;
-  /// Engine used by the uniform no-CD helpers (others ignore it; CD
-  /// and deterministic executions are history-dependent, so no
-  /// analytic path exists for them).
+  /// Engine used by the uniform no-CD helpers (others ignore it).
   NoCdEngine engine = NoCdEngine::kBatch;
+  /// Engine used by the uniform CD helpers (others ignore it). The
+  /// simulated default keeps every published fixed-seed golden stable;
+  /// sweeps and benches opt into the history-tree sampler explicitly.
+  CdEngine cd_engine = CdEngine::kSimulate;
 };
 
 /// Runs `trials` trials through a columnar engine: workers steal

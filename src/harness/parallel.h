@@ -11,6 +11,20 @@
 // Layering: channel/engine.h defines *what* runs on a block (columnar
 // engines), this header defines *where* blocks run, and
 // harness/measure.h glues the two into Measurements.
+//
+/// Ownership: the pool is per call — threads are spawned inside
+/// parallel_blocks and joined before it returns; no worker, queue, or
+/// task outlives the call, and callbacks only borrow caller state.
+///
+/// Thread-safety: fn is invoked concurrently on distinct blocks and
+/// must be safe under that; the first exception thrown is rethrown on
+/// the caller's thread after the pool drains.
+///
+/// Determinism: the block partition depends only on (total,
+/// block_size) — never on the thread count or on which worker claims
+/// which block — so consumers that derive state per block index and
+/// fold in trial order are bit-identical to a serial run at any
+/// thread count (tests/parallel_measure_test.cpp pins this down).
 #pragma once
 
 #include <cstddef>

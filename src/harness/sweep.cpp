@@ -21,9 +21,11 @@ std::string size_source_label(const SweepSizes& sizes) {
 
 Measurement run_cell(const SweepCell& cell, std::size_t trials,
                      std::uint64_t cell_seed, std::size_t threads,
-                     NoCdEngine engine) {
-  const MeasureOptions options{
-      .max_rounds = cell.max_rounds, .threads = threads, .engine = engine};
+                     NoCdEngine engine, CdEngine cd_engine) {
+  const MeasureOptions options{.max_rounds = cell.max_rounds,
+                               .threads = threads,
+                               .engine = engine,
+                               .cd_engine = cd_engine};
   if (cell.algorithm.schedule != nullptr) {
     return cell.sizes.distribution != nullptr
                ? measure_uniform_no_cd(*cell.algorithm.schedule,
@@ -107,8 +109,8 @@ std::vector<SweepResult> run_sweep(std::span<const SweepCell> cells,
         .cell = cell,
         .cell_index = i,
         .cell_seed = cell_seed,
-        .measurement =
-            run_cell(cell, trials, cell_seed, inner_threads, options.engine)};
+        .measurement = run_cell(cell, trials, cell_seed, inner_threads,
+                                options.engine, options.cd_engine)};
   };
   if (cells_in_parallel) {
     // One cell per block: a cell is thousands of trials, so the claim

@@ -8,16 +8,26 @@
 // the cells, and the results feed harness/table.h rows or
 // harness/csv.h exports directly.
 //
-// Determinism: every cell measures under its own seed, derived from
-// (options.seed, the cell's seed stream) with the same splitmix mixing
-// the per-trial streams use. A cell's result therefore depends only on
-// its own configuration — not on execution order, thread count, or
-// which other cells share the grid — and an entire sweep is replayable
-// from one master seed (tests/sweep_test.cpp pins this down). Cells
-// default their seed stream to their grid index; pin seed_stream
-// explicitly when a grid is built dynamically (e.g. filtered by a CLI
-// flag) and cells must keep stable seeds regardless of which others
-// are present.
+/// Ownership: SweepAlgorithm/SweepSizes borrow their schedules,
+/// policies, and distributions — the referenced objects must outlive
+/// run_sweep(); SweepResults own their Measurements outright.
+///
+/// Thread-safety: run_sweep() is the synchronization boundary — wide
+/// grids hand whole cells to the pool, narrow grids parallelize
+/// inside each measurement, and the algorithms under test are only
+/// required to be const-callable concurrently (every schedule/policy
+/// in the library is).
+///
+/// Determinism: every cell measures under its own seed, derived from
+/// (options.seed, the cell's seed stream) with the same splitmix
+/// mixing the per-trial streams use. A cell's result therefore
+/// depends only on its own configuration — not on execution order,
+/// thread count, or which other cells share the grid — and an entire
+/// sweep is replayable from one master seed (tests/sweep_test.cpp
+/// pins this down). Cells default their seed stream to their grid
+/// index; pin seed_stream explicitly when a grid is built dynamically
+/// (e.g. filtered by a CLI flag) and cells must keep stable seeds
+/// regardless of which others are present.
 #pragma once
 
 #include <cstddef>
@@ -96,6 +106,8 @@ struct SweepOptions {
   std::size_t threads = 0;
   /// Engine for the uniform no-CD cells (CD cells ignore it).
   NoCdEngine engine = NoCdEngine::kBatch;
+  /// Engine for the uniform CD cells (no-CD cells ignore it).
+  CdEngine cd_engine = CdEngine::kSimulate;
 };
 
 /// One executed cell.

@@ -13,6 +13,7 @@
 #include "channel/rng.h"
 #include "core/coded_search.h"
 #include "core/likelihood_schedule.h"
+#include "harness/history_tree.h"
 #include "harness/measure.h"
 #include "info/distribution.h"
 #include "predict/families.h"
@@ -133,6 +134,46 @@ TEST(ExactCd, CodedSearchExpectationMatchesMonteCarlo) {
   // that bias on top of the Monte-Carlo confidence interval.
   EXPECT_NEAR(mc.rounds.mean, profile.truncated_expectation,
               4.0 * mc.rounds.ci95 + 49.0 * profile.tail_mass + 0.3);
+}
+
+TEST(ExactCd, ParallelSubtreeExpansionMatchesSerialBitForBit) {
+  // The profile enumeration fans out over subtrees at a fixed split
+  // depth; the shard partition and merge order are scheduling-free, so
+  // every thread count must reproduce the serial run exactly —
+  // including the pruned-mass accounting.
+  const baselines::WillardPolicy willard(1 << 16);
+  for (std::size_t k : {2ul, 1000ul}) {
+    const auto serial = exact_profile_cd(willard, k, 24, 1e-12,
+                                         /*threads=*/1);
+    for (std::size_t threads : {2ul, 4ul, 8ul}) {
+      const auto parallel = exact_profile_cd(willard, k, 24, 1e-12, threads);
+      ASSERT_EQ(serial.solve_by.size(), parallel.solve_by.size());
+      for (std::size_t r = 0; r < serial.solve_by.size(); ++r) {
+        EXPECT_EQ(serial.solve_by[r], parallel.solve_by[r])
+            << "k=" << k << " threads=" << threads << " r=" << r;
+      }
+      EXPECT_EQ(serial.tail_mass, parallel.tail_mass);
+      EXPECT_EQ(serial.truncated_expectation,
+                parallel.truncated_expectation);
+    }
+  }
+
+  // Same property one layer down, where the pruned/frontier masses are
+  // visible directly.
+  const HistoryTreeOptions base{.horizon = 20, .prune_below = 1e-10};
+  HistoryTreeOptions pooled = base;
+  pooled.threads = 4;
+  const auto one = expand_history_tree(willard, 500, base);
+  const auto four = expand_history_tree(willard, 500, pooled);
+  EXPECT_EQ(one.pruned_mass, four.pruned_mass);
+  EXPECT_EQ(one.frontier_mass, four.frontier_mass);
+  ASSERT_EQ(one.nodes.size(), four.nodes.size());
+  ASSERT_EQ(one.solve_at, four.solve_at);
+  for (std::size_t i = 0; i < one.nodes.size(); ++i) {
+    EXPECT_EQ(one.nodes[i].cum_success, four.nodes[i].cum_success);
+    EXPECT_EQ(one.nodes[i].silence, four.nodes[i].silence);
+    EXPECT_EQ(one.nodes[i].collision, four.nodes[i].collision);
+  }
 }
 
 TEST(ExactCd, PruningKeepsMassAccounted) {

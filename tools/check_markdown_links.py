@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo markdown links.
+
+Usage:
+    tools/check_markdown_links.py [REPO_ROOT]
+
+Scans README.md, ROADMAP.md, and every markdown file under docs/ for
+inline links `[text](target)` and checks that each relative target
+exists in the repository (files or directories; `#fragment` suffixes
+and code fences are ignored). External links (http/https/mailto) are
+not fetched — this guards the repo's own cross-references, not the
+internet. Exit code 1 lists every dead link; 0 means all resolved.
+
+CI runs this as the `docs` job, and CTest registers it as
+`docs_link_check`, so a PR that moves or renames a documented file
+fails fast.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE = re.compile(r"^(```|~~~)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def links_in(path: Path):
+    """Yield (line_number, target) for inline links outside code fences."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in INLINE_LINK.finditer(line):
+            yield number, match.group(1)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    root = root.resolve()
+    sources = [root / "README.md", root / "ROADMAP.md"]
+    sources += sorted((root / "docs").glob("**/*.md"))
+    sources = [s for s in sources if s.exists()]
+    if not sources:
+        print(f"no markdown sources found under {root}", file=sys.stderr)
+        return 2
+
+    dead = []
+    checked = 0
+    for source in sources:
+        for number, target in links_in(source):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (
+                root / relative[1:]
+                if relative.startswith("/")
+                else source.parent / relative
+            )
+            checked += 1
+            if not resolved.exists():
+                dead.append(
+                    f"{source.relative_to(root)}:{number}: "
+                    f"dead link -> {target}"
+                )
+
+    for entry in dead:
+        print(entry, file=sys.stderr)
+    if dead:
+        print(f"\nFAIL: {len(dead)} dead intra-repo link(s)", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {checked} intra-repo link(s) resolved across "
+        f"{len(sources)} file(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
