@@ -1,10 +1,15 @@
 // Shared helpers for the bench mains: the --skip-tables flag (strip
-// it before benchmark::Initialize sees argv) and the fast-path
-// MeasureOptions every Monte-Carlo sweep uses.
+// it before benchmark::Initialize sees argv), the fast-path
+// MeasureOptions every Monte-Carlo sweep uses, and the peak-RSS
+// counter the memory-scaling benches report.
 #pragma once
 
 #include <cstddef>
 #include <string_view>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "harness/measure.h"
 
@@ -25,10 +30,29 @@ inline bool consume_skip_tables(int& argc, char** argv) {
 }
 
 /// Fast path for the Monte-Carlo sweeps: analytic no-CD engine, all
-/// hardware threads (statistics match the seed serial loop up to
-/// Monte-Carlo noise; see tests/batch_engine_test.cpp).
+/// hardware threads, streaming histogram fold (statistics match the
+/// seed serial loop up to Monte-Carlo noise; see
+/// tests/batch_engine_test.cpp and tests/accumulator_test.cpp).
 inline harness::MeasureOptions fast(std::size_t max_rounds) {
   return harness::MeasureOptions{.max_rounds = max_rounds};
+}
+
+/// Process-wide peak resident set size in MB (0 where unsupported).
+/// A monotone high-water mark: report it as a benchmark counter (the
+/// streaming benches do) and compare across arguments in one run —
+/// flat counters mean the benchmark added no resident memory.
+inline double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // kilobytes
+#endif
+#else
+  return 0.0;
+#endif
 }
 
 }  // namespace crp::bench

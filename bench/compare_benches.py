@@ -4,11 +4,19 @@
 Usage:
     bench/compare_benches.py BASELINE_DIR NEW_DIR [--threshold PCT]
                              [--normalize] [--filter REGEX]
+                             [--rss-gate MB]
 
 Compares every BENCH_*.json present in both directories benchmark by
 benchmark (matched on the google-benchmark name) and fails — exit code
 1 — when any benchmark's real_time regressed by more than PCT percent
 (default 25).
+
+--rss-gate MB additionally scans the NEW results for benchmarks that
+report a `peak_rss_mb` counter (the streaming memory benches) and
+fails when any exceeds the ceiling — the memory-flatness gate for the
+histogram fold. Unlike the timing diff it needs no baseline and no
+normalization: peak RSS is a property of the binary, not the machine
+speed.
 
 --normalize divides every per-benchmark ratio by the median ratio
 across all benchmarks first. A uniform machine-speed difference (the
@@ -45,6 +53,32 @@ def load_benchmarks(path: Path) -> dict[str, float]:
     return out
 
 
+def load_rss_counters(path: Path) -> dict[str, float]:
+    """name -> peak_rss_mb for benchmarks that report the counter."""
+    with path.open() as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        if "peak_rss_mb" in bench:
+            out[bench["name"]] = float(bench["peak_rss_mb"])
+    return out
+
+
+def check_rss_gate(new_dir: Path, ceiling_mb: float) -> list[str]:
+    """Failure lines for every peak_rss_mb counter above the ceiling."""
+    failures = []
+    for new_file in sorted(new_dir.glob("BENCH_*.json")):
+        for name, rss in sorted(load_rss_counters(new_file).items()):
+            status = "FAIL" if rss > ceiling_mb else "ok"
+            print(f"{new_file.name}: {name}: peak RSS {rss:.1f} MB "
+                  f"(ceiling {ceiling_mb:.0f} MB) {status}")
+            if rss > ceiling_mb:
+                failures.append(f"{new_file.name}: {name}: {rss:.1f} MB")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=Path)
@@ -57,6 +91,11 @@ def main() -> int:
     parser.add_argument("--filter", default="",
                         help="only compare benchmark names matching this "
                              "regex")
+    parser.add_argument("--rss-gate", type=float, default=0.0,
+                        metavar="MB",
+                        help="fail when any new benchmark reports a "
+                             "peak_rss_mb counter above this ceiling "
+                             "(0 = gate off)")
     args = parser.parse_args()
 
     pattern = re.compile(args.filter) if args.filter else None
@@ -111,14 +150,27 @@ def main() -> int:
     for entry in only_old:
         print(f"baseline benchmark missing from new run: {entry}")
 
+    rss_failures = (check_rss_gate(args.new, args.rss_gate)
+                    if args.rss_gate > 0 else [])
+
+    # Report every gate's failures before exiting so one failing gate
+    # never hides the other.
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
               f"than {args.threshold:.0f}%:", file=sys.stderr)
         for file, name, adjusted in regressions:
             print(f"  {file}: {name}: {adjusted:.3f}x", file=sys.stderr)
+    if rss_failures:
+        print(f"\nFAIL: {len(rss_failures)} benchmark(s) exceeded the "
+              f"{args.rss_gate:.0f} MB peak-RSS ceiling:", file=sys.stderr)
+        for entry in rss_failures:
+            print(f"  {entry}", file=sys.stderr)
+    if regressions or rss_failures:
         return 1
     print(f"\nOK: no benchmark regressed more than {args.threshold:.0f}% "
-          f"({len(ratios)} compared)")
+          f"({len(ratios)} compared)"
+          + (f"; all peak-RSS counters under {args.rss_gate:.0f} MB"
+             if args.rss_gate > 0 else ""))
     return 0
 
 

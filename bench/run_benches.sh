@@ -37,4 +37,17 @@ for name in table1 table2 baselines divergence profiles coding; do
     --benchmark_out="$out_dir/BENCH_$name.json" \
     --benchmark_out_format=json \
     | tee "$out_dir/BENCH_$name.log"
+
+  # Surface the memory-flatness counters of the streaming benches: a
+  # peak_rss_mb that stays put while trials_per_cell grows 10x is the
+  # histogram fold doing its job (compare_benches.py --rss-gate turns
+  # this into a CI failure when a ceiling is exceeded).
+  python3 - "$out_dir/BENCH_$name.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+for bench in data.get("benchmarks", []):
+    if "peak_rss_mb" in bench:
+        print(f"  peak RSS: {bench['name']}: {bench['peak_rss_mb']:.1f} MB")
+PYEOF
 done

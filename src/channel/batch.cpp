@@ -1,6 +1,7 @@
 #include "channel/batch.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <mutex>
@@ -27,6 +28,16 @@ double log_survival_term(std::size_t k, double p) {
 }
 
 }  // namespace
+
+void BatchNoCdSampler::finalize_probe_table(SolveTable& table) {
+  // Pad to the next power of two with -inf (predicate-false under any
+  // finite target) so the branchless descent has a fixed trip count
+  // and never indexes past the array.
+  const std::size_t size = std::bit_ceil(table.log_survival.size());
+  table.padded.assign(size, -std::numeric_limits<double>::infinity());
+  std::copy(table.log_survival.begin(), table.log_survival.end(),
+            table.padded.begin());
+}
 
 BatchNoCdSampler::BatchNoCdSampler(const ProbabilitySchedule& schedule)
     : schedule_(schedule), period_(schedule.period()) {
@@ -73,6 +84,7 @@ BatchNoCdSampler::snapshot(std::size_t k, double target,
         ls += log_survival_term(k, probabilities_[r]);
         table->log_survival.push_back(ls);
       }
+      finalize_probe_table(*table);
       slot = std::move(table);
     }
     return slot;
@@ -103,6 +115,7 @@ BatchNoCdSampler::snapshot(std::size_t k, double target,
     }
     horizon += grow;
   }
+  finalize_probe_table(*table);
   slot = std::move(table);
   return slot;
 }
@@ -129,8 +142,8 @@ std::size_t BatchNoCdSampler::search(const SolveTable& table, double target,
       // A sure-success round inside the period (per_period = -inf)
       // means every draw solves within the first period. Otherwise
       // whole periods are skipped analytically and the residual target
-      // located within one period by binary search. (The -inf case
-      // must not enter the arithmetic: 0 * -inf is NaN.)
+      // located within one period by the branchless probe. (The -inf
+      // case must not enter the arithmetic: 0 * -inf is NaN.)
       const bool certain = std::isinf(per_period);
       double skipped = certain ? 0.0 : std::floor(target / per_period);
       while (round == 0) {
@@ -140,22 +153,16 @@ std::size_t BatchNoCdSampler::search(const SolveTable& table, double target,
         }
         const double residual =
             certain ? target : target - skipped * per_period;
-        const auto it = std::partition_point(
-            ls.begin() + 1, ls.end(),
-            [residual](double v) { return v >= residual; });
-        if (it != ls.end()) {
-          round = static_cast<std::size_t>(skipped) * span +
-                  static_cast<std::size_t>(it - ls.begin());
+        const std::size_t first = probe_first_below(table, residual);
+        if (first < ls.size()) {
+          round = static_cast<std::size_t>(skipped) * span + first;
         } else {
           skipped += 1.0;  // floating-point rounding at a period edge
         }
       }
     }
   } else if (ls.back() < target) {
-    const auto it = std::partition_point(
-        ls.begin() + 1, ls.end(),
-        [target](double v) { return v >= target; });
-    round = static_cast<std::size_t>(it - ls.begin());
+    round = probe_first_below(table, target);
   }
   return round > max_rounds ? 0 : round;
 }

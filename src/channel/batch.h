@@ -42,6 +42,8 @@
 /// tabulation order never affect a result, only its cost.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <random>
@@ -117,9 +119,42 @@ class BatchNoCdSampler {
   /// non-increasing, log_survival[0] = 0. For periodic schedules the
   /// table spans exactly one period; aperiodic tables span the rounds
   /// tabulated so far and are replaced by extended copies on growth.
+  /// `padded` is log_survival padded with -inf to the next power of
+  /// two — the flat probe array the branchless inverse-CDF search
+  /// walks (built once per snapshot by finalize_probe_table).
   struct SolveTable {
     std::vector<double> log_survival;
+    std::vector<double> padded;
   };
+
+  /// Builds (or rebuilds) a table's padded probe array from its
+  /// log_survival prefix. Every snapshot the sampler publishes is
+  /// already finalized; exposed so tests can assemble tables directly.
+  static void finalize_probe_table(SolveTable& table);
+
+  /// Branchless inverse-CDF probe: the smallest 1-based index i with
+  /// log_survival[i] < target, or log_survival.size() when no
+  /// tabulated round reaches the target. Identical, comparison for
+  /// comparison, to std::partition_point over log_survival[1..) with
+  /// the predicate v >= target — but the fixed-trip-count descent over
+  /// the padded power-of-two array compiles to conditional moves
+  /// instead of an unpredictable branch per level
+  /// (tests/accumulator_test.cpp pins the equivalence on randomized
+  /// snapshots). This is the per-draw hot path of the columnar
+  /// engine's pass 2.
+  static std::size_t probe_first_below(const SolveTable& table,
+                                       double target) {
+    // A hand-assembled table that skipped finalize_probe_table would
+    // otherwise return round 1 for every target, silently.
+    assert(table.padded.size() >= table.log_survival.size());
+    const std::vector<double>& padded = table.padded;
+    std::size_t pos = 0;
+    for (std::size_t step = padded.size() >> 1; step > 0; step >>= 1) {
+      pos += step * static_cast<std::size_t>(padded[pos + step] >= target);
+    }
+    const std::size_t first_below = pos + 1;
+    return std::min(first_below, table.log_survival.size());
+  }
 
   /// The log-survival target log(1 - u) a uniform draw has to reach.
   static double target_for(double u) { return std::log1p(-u); }

@@ -85,15 +85,26 @@ void BatchColumnarEngine::run_many(TrialBlock& block) const {
     }
   }
 
-  // Pass 2: inverse-CDF search every draw over the shared prefix sums.
-  // One table snapshot per support slot serves the whole block; only a
-  // draw an aperiodic snapshot cannot answer re-enters the sampler's
-  // shared cache.
+  // Pass 2a: turn the whole uniform column into log-survival targets
+  // in one pass. Hoisting the log1p out of the search loop makes this
+  // a pure element-wise map the compiler can unroll and vectorize
+  // (build with CRP_ENABLE_NATIVE_ARCH=ON for the widest vectors the
+  // host supports); u[t] holds the target from here on.
+  for (std::size_t t = 0; t < count; ++t) {
+    u[t] = BatchNoCdSampler::target_for(u[t]);
+  }
+
+  // Pass 2b: answer every target with the branchless inverse-CDF probe
+  // over the snapshot's padded period table — a fixed-trip-count
+  // conditional-move descent instead of a mispredicting binary search
+  // per draw. One table snapshot per support slot serves the whole
+  // block; only a draw an aperiodic snapshot cannot answer re-enters
+  // the sampler's shared cache.
   const auto solve = [&](const std::size_t t,
                          std::shared_ptr<const BatchNoCdSampler::SolveTable>&
                              table,
                          const std::size_t k) {
-    const double target = BatchNoCdSampler::target_for(u[t]);
+    const double target = u[t];
     if (table == nullptr || !sampler_.serves(*table, target, block.max_rounds)) {
       table = sampler_.snapshot(k, target, block.max_rounds);
     }

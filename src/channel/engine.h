@@ -103,11 +103,12 @@ void run_adapter_block(
 
 /// Analytic no-CD engine (the default fast path): one SplitMix64
 /// stream per trial — one draw for the participant count when drawn,
-/// one for the solve round — then a single vectorizable pass of
-/// inverse-CDF searches over the sampler's shared log-survival prefix
-/// sums. Table snapshots are cached per support slot for the span of a
-/// block, so the per-trial path performs no locking, hashing, or
-/// shared_ptr traffic.
+/// one for the solve round — then one vectorizable pass mapping the
+/// uniform column to log-survival targets, and one pass of branchless
+/// inverse-CDF probes over the sampler's padded prefix-sum tables
+/// (BatchNoCdSampler::probe_first_below). Table snapshots are cached
+/// per support slot for the span of a block, so the per-trial path
+/// performs no locking, hashing, or shared_ptr traffic.
 class BatchColumnarEngine final : public Engine {
  public:
   explicit BatchColumnarEngine(const ProbabilitySchedule& schedule)

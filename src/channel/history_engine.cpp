@@ -174,4 +174,24 @@ void HistoryTreeEngine::run_many(TrialBlock& block) const {
   }
 }
 
+std::shared_ptr<const HistoryTreeEngine> HistoryTreeCache::engine_for(
+    const CollisionPolicy& policy) const {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = engines_.find(&policy);
+    if (it != engines_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = engines_[&policy];
+  if (slot == nullptr) {
+    slot = std::make_shared<const HistoryTreeEngine>(policy, options_);
+  }
+  return slot;
+}
+
+std::size_t HistoryTreeCache::size() const {
+  std::shared_lock lock(mutex_);
+  return engines_.size();
+}
+
 }  // namespace crp::channel

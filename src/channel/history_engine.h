@@ -128,4 +128,47 @@ class HistoryTreeEngine final : public Engine {
       trees_;
 };
 
+/// Sweep-scoped engine cache: one shared HistoryTreeEngine per
+/// *policy identity* (the CollisionPolicy address), each engine in
+/// turn caching its expansions per (k, horizon) — so a grid whose
+/// cells share a CD policy expands every (policy, k, horizon) tree
+/// exactly once for the whole sweep instead of once per cell.
+/// run_sweep() holds one cache per sweep and threads it to the CD
+/// helpers via MeasureOptions::tree_cache; per-call engine
+/// construction stays the non-sweep default (a null tree_cache).
+///
+/// Ownership: the cache borrows its policies (a keyed policy must
+/// outlive the cache, which sweep cells guarantee — SweepAlgorithm
+/// already borrows) and owns its engines; engine_for hands out
+/// shared_ptrs that outlive the cache.
+///
+/// Thread-safety: engine_for is safe from any number of concurrent
+/// sweep cells (shared mutex; double-checked insert), and the engines
+/// it returns are themselves concurrency-safe per their contract.
+///
+/// Determinism: an engine's measurements are a pure function of
+/// (policy, options, seeds) — never of cache hits — so cached and
+/// per-call engines produce bit-identical results
+/// (tests/history_tree_engine_test.cpp pins this).
+class HistoryTreeCache {
+ public:
+  explicit HistoryTreeCache(HistoryTreeEngine::Options options)
+      : options_(options) {}
+  HistoryTreeCache() : HistoryTreeCache(HistoryTreeEngine::Options()) {}
+
+  /// The shared engine for `policy`, constructing it on first use.
+  std::shared_ptr<const HistoryTreeEngine> engine_for(
+      const CollisionPolicy& policy) const;
+
+  /// Number of distinct policies cached so far.
+  std::size_t size() const;
+
+ private:
+  HistoryTreeEngine::Options options_;
+  mutable std::shared_mutex mutex_;
+  mutable std::map<const CollisionPolicy*,
+                   std::shared_ptr<const HistoryTreeEngine>>
+      engines_;
+};
+
 }  // namespace crp::channel

@@ -1,0 +1,121 @@
+#include "harness/accumulate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crp::harness {
+
+void RoundHistogram::add_solved(std::uint64_t round) {
+  if (round >= counts_.size()) {
+    std::size_t size = std::max<std::size_t>(64, counts_.size());
+    while (size <= round) size *= 2;
+    counts_.resize(size);
+  }
+  ++counts_[round];
+  ++trials_;
+  ++solved_;
+}
+
+void RoundHistogram::add_columns(std::span<const std::uint8_t> solved,
+                                 std::span<const std::uint64_t> rounds) {
+  if (solved.size() != rounds.size()) {
+    throw std::invalid_argument("result columns disagree on length");
+  }
+  for (std::size_t t = 0; t < solved.size(); ++t) {
+    if (solved[t]) {
+      add_solved(rounds[t]);
+    } else {
+      add_unsolved();
+    }
+  }
+}
+
+void RoundHistogram::merge(const RoundHistogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size());
+  }
+  for (std::size_t v = 0; v < other.counts_.size(); ++v) {
+    counts_[v] += other.counts_[v];
+  }
+  trials_ += other.trials_;
+  solved_ += other.solved_;
+}
+
+bool operator==(const RoundHistogram& a, const RoundHistogram& b) {
+  if (a.trials_ != b.trials_ || a.solved_ != b.solved_) return false;
+  const std::size_t shared = std::min(a.counts_.size(), b.counts_.size());
+  if (!std::equal(a.counts_.begin(), a.counts_.begin() + shared,
+                  b.counts_.begin())) {
+    return false;
+  }
+  const auto& longer = a.counts_.size() > shared ? a.counts_ : b.counts_;
+  return std::all_of(longer.begin() + shared, longer.end(),
+                     [](std::uint64_t c) { return c == 0; });
+}
+
+double RoundHistogram::success_rate() const {
+  return trials_ == 0 ? 0.0
+                      : static_cast<double>(solved_) /
+                            static_cast<double>(trials_);
+}
+
+std::uint64_t RoundHistogram::solved_by(double budget) const {
+  std::uint64_t within = 0;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    if (static_cast<double>(v) <= budget) within += counts_[v];
+  }
+  return within;
+}
+
+void MomentAccumulator::add(std::uint64_t value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += static_cast<unsigned __int128>(value) * value;
+}
+
+void MomentAccumulator::add_column(std::span<const std::uint64_t> values) {
+  for (const std::uint64_t value : values) add(value);
+}
+
+void MomentAccumulator::merge(const MomentAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+double MomentAccumulator::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) /
+                           static_cast<double>(count_);
+}
+
+double MomentAccumulator::stddev() const {
+  if (count_ < 2) return 0.0;
+  // Exact integer moments; the (small) cancellation in sum_sq - n*mean^2
+  // happens once, in long double, on read.
+  const long double n = static_cast<long double>(count_);
+  const long double m = static_cast<long double>(sum_) / n;
+  const long double ss =
+      static_cast<long double>(sum_sq_) - n * m * m;
+  return ss <= 0.0L
+             ? 0.0
+             : static_cast<double>(std::sqrt(ss / (n - 1.0L)));
+}
+
+}  // namespace crp::harness

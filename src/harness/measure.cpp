@@ -13,10 +13,12 @@ namespace crp::harness {
 namespace {
 
 /// Legacy entry points (plain max_rounds) keep the seed behavior:
-/// serial execution, exact binomial engine.
+/// serial execution, exact binomial engine, raw sample vector.
 MeasureOptions legacy_options(std::size_t max_rounds) {
-  return MeasureOptions{
-      .max_rounds = max_rounds, .threads = 1, .engine = NoCdEngine::kBinomial};
+  return MeasureOptions{.max_rounds = max_rounds,
+                        .threads = 1,
+                        .engine = NoCdEngine::kBinomial,
+                        .keep_samples = true};
 }
 
 /// Engine dispatch shared by the drawn-k and fixed-k no-CD helpers:
@@ -42,11 +44,19 @@ Measurement measure_no_cd(const channel::ProbabilitySchedule& schedule,
   }
 }
 
-/// Engine dispatch for the CD helpers, mirroring measure_no_cd.
+/// Engine dispatch for the CD helpers, mirroring measure_no_cd. A
+/// shared tree cache (when the caller provides one) replaces the
+/// per-call engine so expansions amortize across calls; the engine's
+/// results are a pure function of (policy, options), so both routes
+/// measure identically.
 Measurement measure_cd(const channel::CollisionPolicy& policy,
                        const channel::SizeSource& sizes, std::size_t trials,
                        std::uint64_t seed, const MeasureOptions& options) {
   if (options.cd_engine == CdEngine::kHistoryTree) {
+    if (options.tree_cache != nullptr) {
+      const auto engine = options.tree_cache->engine_for(policy);
+      return measure_blocks(*engine, sizes, trials, seed, options);
+    }
     const channel::HistoryTreeEngine engine(policy);
     return measure_blocks(engine, sizes, trials, seed, options);
   }
@@ -97,6 +107,9 @@ Measurement measurement_from_runs(std::span<const channel::RunResult> runs) {
     if (run.solved) {
       ++solved;
       result.samples.push_back(static_cast<double>(run.rounds));
+      result.histogram.add_solved(run.rounds);
+    } else {
+      result.histogram.add_unsolved();
     }
   }
   result.success_rate =
@@ -122,6 +135,7 @@ Measurement measurement_from_columns(std::span<const std::uint8_t> solved,
       result.samples.push_back(static_cast<double>(rounds[t]));
     }
   }
+  result.histogram.add_columns(solved, rounds);
   result.success_rate =
       solved.empty() ? 0.0
                      : static_cast<double>(solved_count) /
@@ -130,30 +144,108 @@ Measurement measurement_from_columns(std::span<const std::uint8_t> solved,
   return result;
 }
 
+Measurement measurement_from_histogram(RoundHistogram histogram) {
+  Measurement result;
+  result.trials = histogram.trials();
+  result.success_rate = histogram.success_rate();
+  result.rounds = histogram.summary();
+  result.histogram = std::move(histogram);
+  return result;
+}
+
 Measurement measure_blocks(const channel::Engine& engine,
                            const channel::SizeSource& sizes,
                            std::size_t trials, std::uint64_t seed,
                            const MeasureOptions& options) {
-  std::vector<std::uint8_t> solved(trials);
-  std::vector<std::uint64_t> rounds(trials);
-  parallel_blocks(trials, options.threads,
-                  [&](std::size_t begin, std::size_t end) {
-                    channel::TrialBlock block;
-                    block.seed = seed;
-                    block.first_trial = begin;
-                    block.max_rounds = options.max_rounds;
-                    block.sizes = sizes;
-                    block.solved =
-                        std::span(solved).subspan(begin, end - begin);
-                    block.rounds =
-                        std::span(rounds).subspan(begin, end - begin);
-                    engine.run_many(block);
-                  });
-  return measurement_from_columns(solved, rounds);
+  if (options.keep_samples) {
+    // Sample-retaining path: whole-measurement columns, folded in
+    // trial order (the pre-streaming behavior, bit for bit).
+    std::vector<std::uint8_t> solved(trials);
+    std::vector<std::uint64_t> rounds(trials);
+    std::vector<std::uint64_t> transmissions(
+        options.measure_transmissions ? trials : 0);
+    parallel_blocks(trials, options.threads,
+                    [&](std::size_t begin, std::size_t end) {
+                      channel::TrialBlock block;
+                      block.seed = seed;
+                      block.first_trial = begin;
+                      block.max_rounds = options.max_rounds;
+                      block.sizes = sizes;
+                      block.solved =
+                          std::span(solved).subspan(begin, end - begin);
+                      block.rounds =
+                          std::span(rounds).subspan(begin, end - begin);
+                      if (options.measure_transmissions) {
+                        block.transmissions = std::span(transmissions)
+                                                  .subspan(begin, end - begin);
+                      }
+                      engine.run_many(block);
+                    });
+    Measurement result = measurement_from_columns(solved, rounds);
+    if (options.measure_transmissions) {
+      result.transmissions.add_column(transmissions);
+    }
+    return result;
+  }
+
+  // Streaming path: workers fold their blocks into private integer
+  // accumulators through fixed-size scratch columns; memory is
+  // O(workers * (block size + max observed round)) however many
+  // trials run. The merged result is bit-identical to the trial-order
+  // fold for count/min/max/mean/quantiles (harness/accumulate.h).
+  const std::size_t workers =
+      parallel_worker_count(trials, options.threads, kTrialBlockSize);
+  struct WorkerState {
+    std::vector<std::uint8_t> solved;
+    std::vector<std::uint64_t> rounds;
+    std::vector<std::uint64_t> transmissions;
+    RoundHistogram histogram;
+    MomentAccumulator energy;
+  };
+  std::vector<WorkerState> states(workers);
+  parallel_blocks_indexed(
+      trials, options.threads,
+      [&](std::size_t worker, std::size_t begin, std::size_t end) {
+        WorkerState& state = states[worker];
+        const std::size_t count = end - begin;
+        state.solved.resize(count);
+        state.rounds.resize(count);
+        channel::TrialBlock block;
+        block.seed = seed;
+        block.first_trial = begin;
+        block.max_rounds = options.max_rounds;
+        block.sizes = sizes;
+        block.solved = std::span(state.solved);
+        block.rounds = std::span(state.rounds);
+        if (options.measure_transmissions) {
+          state.transmissions.resize(count);
+          block.transmissions = std::span(state.transmissions);
+        }
+        engine.run_many(block);
+        state.histogram.add_columns(block.solved, block.rounds);
+        if (options.measure_transmissions) {
+          state.energy.add_column(block.transmissions);
+        }
+      });
+  RoundHistogram histogram;
+  MomentAccumulator energy;
+  for (const WorkerState& state : states) {
+    histogram.merge(state.histogram);
+    energy.merge(state.energy);
+  }
+  Measurement result = measurement_from_histogram(std::move(histogram));
+  if (options.measure_transmissions) result.transmissions = energy;
+  return result;
 }
 
 double Measurement::solved_within(double budget) const {
   if (trials == 0) return 0.0;
+  // The library fold paths always fill the histogram; hand-assembled
+  // Measurements (tests, external callers) may carry samples only.
+  if (histogram.trials() == trials) {
+    return static_cast<double>(histogram.solved_by(budget)) /
+           static_cast<double>(trials);
+  }
   const auto solved = static_cast<double>(
       std::count_if(samples.begin(), samples.end(),
                     [budget](double r) { return r <= budget; }));
@@ -172,6 +264,9 @@ Measurement measure(const Trial& trial, std::size_t trials,
     if (run.solved) {
       ++solved;
       result.samples.push_back(static_cast<double>(run.rounds));
+      result.histogram.add_solved(run.rounds);
+    } else {
+      result.histogram.add_unsolved();
     }
   }
   result.success_rate =

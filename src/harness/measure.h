@@ -4,8 +4,13 @@
 // structure-of-arrays result columns for whole blocks of trials
 // (channel/engine.h), workers steal blocks (harness/parallel.h), and
 // measure_blocks() folds the columns into a Measurement in trial
-// order — bit-identical at every thread count. The measure_* helpers
-// below wire the common cases (a uniform algorithm against a
+// order — bit-identical at every thread count. By default the fold is
+// *streaming*: each worker folds its blocks into an exact counting
+// histogram (harness/accumulate.h) and the per-worker histograms merge
+// exactly, so a cell's memory is O(max observed round) regardless of
+// the trial count; MeasureOptions::keep_samples restores the raw
+// per-trial sample vector for consumers that need it. The measure_*
+// helpers below wire the common cases (a uniform algorithm against a
 // network-size distribution, an advice protocol against sampled
 // participant sets) onto that stack; the scalar Trial interface and
 // measure() remain as compatibility shims for per-trial callbacks.
@@ -22,8 +27,13 @@
 #include "channel/protocol.h"
 #include "channel/simulator.h"
 #include "core/advice.h"
+#include "harness/accumulate.h"
 #include "harness/stats.h"
 #include "info/distribution.h"
+
+namespace crp::channel {
+class HistoryTreeCache;  // channel/history_engine.h
+}  // namespace crp::channel
 
 namespace crp::harness {
 
@@ -34,10 +44,22 @@ struct Measurement {
   std::size_t trials = 0;
 
   /// Fraction of trials solved within `budget` rounds (one-shot success
-  /// probability at that budget), computed from the raw samples.
+  /// probability at that budget). Reads the histogram when the library
+  /// fold filled it, else the raw samples — identical answers.
   double solved_within(double budget) const;
 
-  std::vector<double> samples;  ///< rounds of solved trials
+  /// Rounds of solved trials, in trial order. Filled by the scalar
+  /// shims and, when MeasureOptions::keep_samples is set, by the block
+  /// fold; empty on the (default) streaming path.
+  std::vector<double> samples;
+
+  /// Exact per-round counts of the solved trials; filled by every
+  /// library fold path (the streaming default stores only this).
+  RoundHistogram histogram;
+
+  /// Transmission-count moments over all trials; populated only when
+  /// MeasureOptions::measure_transmissions requested the energy column.
+  MomentAccumulator transmissions;
 };
 
 using Trial = std::function<channel::RunResult(std::size_t trial_index,
@@ -63,6 +85,11 @@ Measurement measurement_from_runs(std::span<const channel::RunResult> runs);
 /// identical aggregation, visiting trials in order.
 Measurement measurement_from_columns(std::span<const std::uint8_t> solved,
                                      std::span<const std::uint64_t> rounds);
+
+/// Streaming counterpart: a Measurement read entirely from a merged
+/// round histogram (count/min/max/mean/quantiles bit-identical to the
+/// vector fold; see harness/accumulate.h for the stddev caveat).
+Measurement measurement_from_histogram(RoundHistogram histogram);
 
 /// Which engine simulates a uniform no-CD trial.
 enum class NoCdEngine {
@@ -95,6 +122,25 @@ struct MeasureOptions {
   /// simulated default keeps every published fixed-seed golden stable;
   /// sweeps and benches opt into the history-tree sampler explicitly.
   CdEngine cd_engine = CdEngine::kSimulate;
+  /// When true, the fold keeps Measurement::samples (rounds of solved
+  /// trials, in trial order) and computes the summary from that vector
+  /// — the pre-streaming behavior, O(trials) memory, needed by callers
+  /// that consume raw samples. The default folds into the counting
+  /// histogram only: memory flat in the trial count, with count, min,
+  /// max, mean, and quantiles bit-identical to the vector fold.
+  bool keep_samples = false;
+  /// When true, engines fill the transmissions column and the fold
+  /// accumulates Measurement::transmissions (exact integer moments
+  /// over all trials). Off by default: the analytic no-CD engine
+  /// reports the column as 0 (see channel/batch.h) — meaningful with
+  /// the exact engines.
+  bool measure_transmissions = false;
+  /// Shared history-tree engine cache for the CD helpers (used only
+  /// when cd_engine is kHistoryTree). Null = construct a private
+  /// engine per call, the non-sweep default; run_sweep passes one
+  /// cache for the whole grid so cells sharing a policy expand each
+  /// tree once. Results are identical either way.
+  const channel::HistoryTreeCache* tree_cache = nullptr;
 };
 
 /// Runs `trials` trials through a columnar engine: workers steal

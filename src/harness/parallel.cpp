@@ -12,24 +12,39 @@
 
 namespace crp::harness {
 
-void parallel_blocks(std::size_t total, std::size_t threads,
-                     const std::function<void(std::size_t, std::size_t)>& fn,
-                     std::size_t block_size) {
+namespace {
+
+/// Overflow-safe ceiling division: totals near SIZE_MAX must not wrap
+/// the block count to zero.
+std::size_t block_count(std::size_t total, std::size_t block_size) {
   if (block_size == 0) {
     throw std::invalid_argument("block size must be positive");
   }
-  // Overflow-safe ceiling division: totals near SIZE_MAX must not wrap
-  // the block count to zero.
-  const std::size_t blocks =
-      total / block_size + (total % block_size != 0 ? 1 : 0);
+  return total / block_size + (total % block_size != 0 ? 1 : 0);
+}
+
+}  // namespace
+
+std::size_t parallel_worker_count(std::size_t total, std::size_t threads,
+                                  std::size_t block_size) {
+  const std::size_t blocks = block_count(total, block_size);
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  threads = std::min(threads, std::max<std::size_t>(blocks, 1));
-  if (threads <= 1) {
+  return std::min(threads, std::max<std::size_t>(blocks, 1));
+}
+
+void parallel_blocks_indexed(
+    std::size_t total, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    std::size_t block_size) {
+  const std::size_t blocks = block_count(total, block_size);
+  const std::size_t workers =
+      parallel_worker_count(total, threads, block_size);
+  if (workers <= 1) {
     for (std::size_t b = 0; b < blocks; ++b) {
       const std::size_t begin = b * block_size;
-      fn(begin, std::min(total, begin + block_size));
+      fn(0, begin, std::min(total, begin + block_size));
     }
     return;
   }
@@ -41,13 +56,13 @@ void parallel_blocks(std::size_t total, std::size_t threads,
   std::exception_ptr error;
   std::mutex error_mutex;
 
-  const auto worker = [&]() {
+  const auto worker = [&](std::size_t id) {
     while (true) {
       const std::size_t b = next.fetch_add(1);
       if (b >= blocks) return;
       const std::size_t begin = b * block_size;
       try {
-        fn(begin, std::min(total, begin + block_size));
+        fn(id, begin, std::min(total, begin + block_size));
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
@@ -57,10 +72,21 @@ void parallel_blocks(std::size_t total, std::size_t threads,
   };
 
   std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+  pool.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(worker, i);
   for (auto& thread : pool) thread.join();
   if (error) std::rethrow_exception(error);
+}
+
+void parallel_blocks(std::size_t total, std::size_t threads,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t block_size) {
+  parallel_blocks_indexed(
+      total, threads,
+      [&fn](std::size_t, std::size_t begin, std::size_t end) {
+        fn(begin, end);
+      },
+      block_size);
 }
 
 void parallel_trials(std::size_t trials, std::size_t threads,

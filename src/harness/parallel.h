@@ -51,6 +51,26 @@ void parallel_blocks(std::size_t total, std::size_t threads,
                      const std::function<void(std::size_t, std::size_t)>& fn,
                      std::size_t block_size = kTrialBlockSize);
 
+/// The number of workers parallel_blocks would actually spawn for
+/// (total, threads, block_size) — threads resolved (0 = hardware),
+/// then capped by the block count, never below 1. Callers that give
+/// each worker private state (scratch columns, streaming accumulators)
+/// size their arrays with this.
+std::size_t parallel_worker_count(std::size_t total, std::size_t threads,
+                                  std::size_t block_size = kTrialBlockSize);
+
+/// parallel_blocks with a stable worker identity: fn(worker, begin,
+/// end), worker in [0, parallel_worker_count(...)). A worker runs its
+/// blocks sequentially, so per-worker state needs no synchronization.
+/// Which blocks land on which worker is scheduling-dependent — only
+/// folds that are exact and commutative across blocks (integer
+/// accumulators, element-indexed writes) may depend on worker state;
+/// see harness/accumulate.h for the streaming-fold contract.
+void parallel_blocks_indexed(
+    std::size_t total, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    std::size_t block_size = kTrialBlockSize);
+
 /// Runs fn(t) for every trial index t in [0, trials) across `threads`
 /// workers (0 = all hardware threads; <= 1 runs inline on the calling
 /// thread). A convenience wrapper over parallel_blocks with a small

@@ -1,7 +1,19 @@
 // Summary statistics for Monte-Carlo round-complexity measurements.
+//
+// Two equivalent inputs: a raw sample vector (summarize/percentile,
+// the seed path) or an exact counting histogram over integer values
+// (summarize_counts/percentile_counts, the streaming accumulator
+// path — see harness/accumulate.h). Count, min, max, mean, and every
+// quantile agree bit for bit between the two: both read the same
+// integers, and the histogram evaluates the identical interpolation
+// arithmetic on the order statistics the sorted vector would hold.
+// Only stddev/ci95 may differ in the last floating-point bits (the
+// vector sums squared deviations in sample order, the histogram per
+// bin).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -27,5 +39,13 @@ SummaryStats summarize(std::span<const double> samples);
 
 /// Linear interpolation percentile (q in [0, 1]) of a sorted copy.
 double percentile(std::span<const double> samples, double q);
+
+/// Histogram counterpart of summarize(): `counts[v]` is the number of
+/// samples with integer value v. All-zero counts -> zeros.
+SummaryStats summarize_counts(std::span<const std::uint64_t> counts);
+
+/// Histogram counterpart of percentile(): the same linear-interpolation
+/// quantile, read from bin counts instead of a sorted copy.
+double percentile_counts(std::span<const std::uint64_t> counts, double q);
 
 }  // namespace crp::harness

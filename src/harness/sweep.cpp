@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "channel/history_engine.h"
 #include "channel/rng.h"
 #include "harness/csv.h"
 #include "harness/parallel.h"
@@ -21,11 +22,13 @@ std::string size_source_label(const SweepSizes& sizes) {
 
 Measurement run_cell(const SweepCell& cell, std::size_t trials,
                      std::uint64_t cell_seed, std::size_t threads,
-                     NoCdEngine engine, CdEngine cd_engine) {
+                     NoCdEngine engine, CdEngine cd_engine,
+                     const channel::HistoryTreeCache* tree_cache) {
   const MeasureOptions options{.max_rounds = cell.max_rounds,
                                .threads = threads,
                                .engine = engine,
-                               .cd_engine = cd_engine};
+                               .cd_engine = cd_engine,
+                               .tree_cache = tree_cache};
   if (cell.algorithm.schedule != nullptr) {
     return cell.sizes.distribution != nullptr
                ? measure_uniform_no_cd(*cell.algorithm.schedule,
@@ -98,6 +101,14 @@ std::vector<SweepResult> run_sweep(std::span<const SweepCell> cells,
   // trials) only.
   const bool cells_in_parallel = cells.size() >= workers;
   const std::size_t inner_threads = cells_in_parallel ? 1 : options.threads;
+  // One history-tree engine cache for the whole sweep: cells sharing a
+  // CD policy expand each (policy, k, horizon) tree once instead of
+  // once per cell. Results are identical to per-cell engines (the
+  // expansion is deterministic), so the cache is purely an
+  // amortization.
+  const channel::HistoryTreeCache tree_cache;
+  const channel::HistoryTreeCache* shared_trees =
+      options.cd_engine == CdEngine::kHistoryTree ? &tree_cache : nullptr;
   const auto execute = [&](std::size_t i) {
     const SweepCell& cell = cells[i];
     const std::uint64_t stream =
@@ -110,7 +121,8 @@ std::vector<SweepResult> run_sweep(std::span<const SweepCell> cells,
         .cell_index = i,
         .cell_seed = cell_seed,
         .measurement = run_cell(cell, trials, cell_seed, inner_threads,
-                                options.engine, options.cd_engine)};
+                                options.engine, options.cd_engine,
+                                shared_trees)};
   };
   if (cells_in_parallel) {
     // One cell per block: a cell is thousands of trials, so the claim
@@ -154,15 +166,22 @@ Table sweep_table(std::span<const SweepResult> results) {
 void write_sweep_csv(std::ostream& out,
                      std::span<const SweepResult> results) {
   auto header = CsvWriter::measurement_header();
-  header.insert(header.begin(), {"algorithm", "sizes", "budget", "trials"});
+  header.insert(header.begin(), {"algorithm", "sizes", "budget", "trials",
+                                 "cell_seed"});
   CsvWriter writer(out, std::move(header));
   for (const auto& result : results) {
     auto cells = CsvWriter::measurement_cells(result.measurement);
+    // cell_seed makes every row independently replayable: re-running
+    // the cell's measure_* call under this seed reproduces the row,
+    // which is what lets a driver shard a grid's cells across
+    // processes and merge the CSVs (tests/sweep_test.cpp round-trips
+    // this).
     cells.insert(cells.begin(),
                  {result.cell.algorithm.name,
                   size_source_label(result.cell.sizes),
                   std::to_string(result.cell.max_rounds),
-                  std::to_string(result.measurement.trials)});
+                  std::to_string(result.measurement.trials),
+                  std::to_string(result.cell_seed)});
     writer.row(cells);
   }
 }

@@ -6,7 +6,10 @@
 // This is the execution layer the paper's Table 1/2 and divergence
 // sweeps run on: each bench declares its grid, run_sweep() schedules
 // the cells, and the results feed harness/table.h rows or
-// harness/csv.h exports directly.
+// harness/csv.h exports directly. Cells fold through the streaming
+// accumulator layer (harness/accumulate.h): per-cell memory is flat
+// in the trial count, and CD cells running the history-tree engine
+// share one expansion cache across the whole sweep.
 //
 /// Ownership: SweepAlgorithm/SweepSizes borrow their schedules,
 /// policies, and distributions — the referenced objects must outlive
@@ -131,7 +134,10 @@ std::vector<SweepResult> run_sweep(const SweepGrid& grid,
 /// the measurement summary columns.
 Table sweep_table(std::span<const SweepResult> results);
 
-/// CSV export with the same columns (harness/csv.h measurement cells).
+/// CSV export: algorithm, sizes, budget, trials, cell_seed, then the
+/// measurement summary columns (harness/csv.h). cell_seed is the
+/// derived seed the cell ran under, so every row is independently
+/// replayable — the serialization hook for multi-process sharding.
 void write_sweep_csv(std::ostream& out,
                      std::span<const SweepResult> results);
 

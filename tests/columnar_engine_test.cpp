@@ -33,6 +33,7 @@ namespace {
 void expect_identical(const Measurement& a, const Measurement& b) {
   EXPECT_EQ(a.trials, b.trials);
   EXPECT_EQ(a.samples, b.samples);  // element-wise, in trial order
+  EXPECT_TRUE(a.histogram == b.histogram);
   EXPECT_EQ(a.success_rate, b.success_rate);
   EXPECT_EQ(a.rounds.mean, b.rounds.mean);
   EXPECT_EQ(a.rounds.p50, b.rounds.p50);
@@ -72,7 +73,8 @@ TEST(ColumnarEngine, BatchMatchesScalarSamplerLoop) {
       schedule, actual, kTrials, kSeed,
       MeasureOptions{.max_rounds = 1 << 14,
                      .threads = 1,
-                     .engine = NoCdEngine::kBatch});
+                     .engine = NoCdEngine::kBatch,
+                     .keep_samples = true});
   expect_identical(scalar, columnar);
 }
 
@@ -94,7 +96,8 @@ TEST(ColumnarEngine, BinomialMatchesScalarTrialLoop) {
       decay, actual, kTrials, kSeed,
       MeasureOptions{.max_rounds = 1 << 14,
                      .threads = 1,
-                     .engine = NoCdEngine::kBinomial});
+                     .engine = NoCdEngine::kBinomial,
+                     .keep_samples = true});
   expect_identical(scalar, columnar);
 }
 
@@ -114,7 +117,8 @@ TEST(ColumnarEngine, PerPlayerMatchesScalarTrialLoop) {
       decay, 50, kTrials, kSeed,
       MeasureOptions{.max_rounds = 1 << 14,
                      .threads = 1,
-                     .engine = NoCdEngine::kPerPlayer});
+                     .engine = NoCdEngine::kPerPlayer,
+                     .keep_samples = true});
   expect_identical(scalar, columnar);
 }
 
@@ -134,7 +138,8 @@ TEST(ColumnarEngine, CdAdapterMatchesScalarTrialLoop) {
       kTrials, kSeed);
   const auto columnar = measure_uniform_cd(
       willard, actual, kTrials, kSeed,
-      MeasureOptions{.max_rounds = 1 << 12, .threads = 1});
+      MeasureOptions{
+          .max_rounds = 1 << 12, .threads = 1, .keep_samples = true});
   expect_identical(scalar, columnar);
 }
 
@@ -146,7 +151,8 @@ TEST(ColumnarEngine, BlockPartitionIsInvisible) {
   const auto actual = table1_sizes(1 << 10);
   for (const std::size_t trials :
        {kTrialBlockSize - 1, kTrialBlockSize, 3 * kTrialBlockSize + 17}) {
-    const MeasureOptions serial{.max_rounds = 1 << 14, .threads = 1};
+    const MeasureOptions serial{
+        .max_rounds = 1 << 14, .threads = 1, .keep_samples = true};
     const auto reference =
         measure_uniform_no_cd(decay, actual, trials, 99, serial);
     for (const std::size_t threads : {2ul, 8ul}) {
@@ -173,8 +179,9 @@ TEST(ColumnarEngine, CustomEngineThroughMeasureBlocks) {
     }
   };
   const EveryThirdSolves engine;
-  const auto m = measure_blocks(engine, channel::SizeSource{nullptr, 2},
-                                10, 0, MeasureOptions{.threads = 1});
+  const auto m =
+      measure_blocks(engine, channel::SizeSource{nullptr, 2}, 10, 0,
+                     MeasureOptions{.threads = 1, .keep_samples = true});
   EXPECT_EQ(m.trials, 10u);
   EXPECT_DOUBLE_EQ(m.success_rate, 0.4);
   ASSERT_EQ(m.samples.size(), 4u);
@@ -196,7 +203,9 @@ TEST(ColumnarEngine, RejectsDegenerateBlocks) {
 // seeds before the columnar refactor. The compatibility shims must
 // keep reproducing them bit for bit: every engine derives the same
 // per-trial streams and consumes draws in the same order as the
-// scalar loops did.
+// scalar loops did. keep_samples selects the sample-retaining fold
+// these goldens were captured from; the streaming fold reproduces the
+// same count/mean/quantiles (tests/accumulator_test.cpp).
 
 double sample_sum(const Measurement& m) {
   double sum = 0.0;
@@ -215,7 +224,8 @@ TEST(ColumnarEngine, GoldenBatchDrawnSizes) {
       schedule, actual, 4000, 2021,
       MeasureOptions{.max_rounds = 1 << 14,
                      .threads = 1,
-                     .engine = NoCdEngine::kBatch});
+                     .engine = NoCdEngine::kBatch,
+                     .keep_samples = true});
   EXPECT_DOUBLE_EQ(m.success_rate, 1.0);
   EXPECT_DOUBLE_EQ(m.rounds.mean, 6.3362499999999997);
   EXPECT_DOUBLE_EQ(m.rounds.p50, 4.0);
@@ -230,7 +240,8 @@ TEST(ColumnarEngine, GoldenBatchFixedK) {
       decay, 100, 4000, 2022,
       MeasureOptions{.max_rounds = 1 << 14,
                      .threads = 1,
-                     .engine = NoCdEngine::kBatch});
+                     .engine = NoCdEngine::kBatch,
+                     .keep_samples = true});
   EXPECT_DOUBLE_EQ(m.rounds.mean, 10.655250000000001);
   EXPECT_DOUBLE_EQ(sample_sum(m), 42621.0);
 }
@@ -246,7 +257,8 @@ TEST(ColumnarEngine, GoldenBinomialDrawnSizes) {
       schedule, actual, 2000, 2023,
       MeasureOptions{.max_rounds = 1 << 14,
                      .threads = 1,
-                     .engine = NoCdEngine::kBinomial});
+                     .engine = NoCdEngine::kBinomial,
+                     .keep_samples = true});
   EXPECT_DOUBLE_EQ(m.rounds.mean, 6.3685);
   EXPECT_DOUBLE_EQ(sample_sum(m), 12737.0);
 }
@@ -255,7 +267,8 @@ TEST(ColumnarEngine, GoldenCdPaths) {
   constexpr std::size_t n = 1 << 12;
   const auto actual = table1_sizes(n);
   const baselines::WillardPolicy willard(n);
-  const MeasureOptions options{.max_rounds = 1 << 14, .threads = 1};
+  const MeasureOptions options{
+      .max_rounds = 1 << 14, .threads = 1, .keep_samples = true};
   const auto drawn =
       measure_uniform_cd(willard, actual, 2000, 2025, options);
   EXPECT_DOUBLE_EQ(drawn.rounds.mean, 4.1935000000000002);
@@ -273,7 +286,8 @@ TEST(ColumnarEngine, GoldenDeterministicAdvice) {
   const auto sizes = info::SizeDistribution::uniform(32);
   const auto m = measure_deterministic_advice(
       scan, advice, sizes, n, false, 1000, 2027,
-      MeasureOptions{.max_rounds = 8 << 8, .threads = 1});
+      MeasureOptions{
+          .max_rounds = 8 << 8, .threads = 1, .keep_samples = true});
   EXPECT_DOUBLE_EQ(m.rounds.mean, 11.145);
   EXPECT_DOUBLE_EQ(sample_sum(m), 11145.0);
 

@@ -32,6 +32,9 @@ using channel::HistoryTreeEngine;
 void expect_identical(const Measurement& a, const Measurement& b) {
   EXPECT_EQ(a.trials, b.trials);
   EXPECT_EQ(a.samples, b.samples);
+  // Element-wise distribution equality even on the streaming path
+  // (where samples are empty on both sides).
+  EXPECT_TRUE(a.histogram == b.histogram);
   EXPECT_EQ(a.success_rate, b.success_rate);
   EXPECT_EQ(a.rounds.mean, b.rounds.mean);
   EXPECT_EQ(a.rounds.max, b.rounds.max);
@@ -245,6 +248,53 @@ TEST(HistoryTreeEngine, SweepSchedulerUsesTheCdEngine) {
   expect_identical(expected, results[0].measurement);
 }
 
+TEST(HistoryTreeEngine, SharedTreeCacheMeasuresIdentically) {
+  // A HistoryTreeCache hands every caller of the same policy the same
+  // engine (one expansion per (policy, k, horizon) for the whole
+  // sweep), and cached measurements are bit-identical to per-call
+  // engines.
+  const baselines::WillardPolicy willard(1 << 12);
+  const channel::HistoryTreeCache cache;
+  const auto first = cache.engine_for(willard);
+  const auto second = cache.engine_for(willard);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.size(), 1u);
+
+  MeasureOptions direct{.max_rounds = 1 << 12, .threads = 1};
+  direct.cd_engine = CdEngine::kHistoryTree;
+  MeasureOptions cached = direct;
+  cached.tree_cache = &cache;
+  expect_identical(measure_uniform_cd_fixed_k(willard, 60, 4000, 41, direct),
+                   measure_uniform_cd_fixed_k(willard, 60, 4000, 41, cached));
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Through the sweep scheduler: two cells share the policy, and the
+  // sweep (which routes every CD cell through one cache) matches the
+  // cache-less direct measurements cell by cell.
+  SweepGrid grid;
+  grid.add_cell({.algorithm = {.name = "willard", .policy = &willard},
+                 .sizes = {.fixed_k = 60},
+                 .max_rounds = 1 << 12});
+  grid.add_cell({.algorithm = {.name = "willard", .policy = &willard},
+                 .sizes = {.fixed_k = 2500},
+                 .max_rounds = 1 << 12});
+  SweepOptions sweep;
+  sweep.trials = 2000;
+  sweep.seed = 43;
+  sweep.threads = 1;
+  sweep.cd_engine = CdEngine::kHistoryTree;
+  const auto results = run_sweep(grid, sweep);
+  ASSERT_EQ(results.size(), 2u);
+  expect_identical(
+      results[0].measurement,
+      measure_uniform_cd_fixed_k(willard, 60, 2000,
+                                 channel::derive_stream_seed(43, 0), direct));
+  expect_identical(
+      results[1].measurement,
+      measure_uniform_cd_fixed_k(willard, 2500, 2000,
+                                 channel::derive_stream_seed(43, 1), direct));
+}
+
 // ---- golden fixed-seed statistics --------------------------------
 //
 // Captured from this engine at introduction time. Any change to the
@@ -253,7 +303,8 @@ TEST(HistoryTreeEngine, SweepSchedulerUsesTheCdEngine) {
 
 TEST(HistoryTreeEngine, GoldenFixedSeedStatistics) {
   const baselines::WillardPolicy willard(1 << 16);
-  MeasureOptions options{.max_rounds = 1 << 12, .threads = 1};
+  MeasureOptions options{
+      .max_rounds = 1 << 12, .threads = 1, .keep_samples = true};
   options.cd_engine = CdEngine::kHistoryTree;
   const auto fixed =
       measure_uniform_cd_fixed_k(willard, 60, 2000, 2025, options);

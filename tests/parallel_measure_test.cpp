@@ -84,9 +84,12 @@ TEST(MeasureParallel, DeterministicAdviceMatchesLegacySerialPath) {
   const auto sizes = info::SizeDistribution::uniform(32);
   const auto legacy = measure_deterministic_advice(scan, advice, sizes, n,
                                                    false, 800, 5, 8 * n);
+  // keep_samples matches the legacy fold (the plain-max_rounds entry
+  // points always retain samples).
   const auto pooled = measure_deterministic_advice(
       scan, advice, sizes, n, false, 800, 5,
-      MeasureOptions{.max_rounds = 8 * n, .threads = 8});
+      MeasureOptions{.max_rounds = 8 * n, .threads = 8,
+                     .keep_samples = true});
   expect_identical(legacy, pooled);
 }
 

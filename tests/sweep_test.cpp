@@ -19,6 +19,10 @@ namespace {
 void expect_identical(const Measurement& a, const Measurement& b) {
   EXPECT_EQ(a.trials, b.trials);
   EXPECT_EQ(a.samples, b.samples);
+  // Full per-round distribution, not just the derived summary — on
+  // the streaming path (empty samples) this is the element-wise
+  // comparison that keeps the check from going vacuous.
+  EXPECT_TRUE(a.histogram == b.histogram);
   EXPECT_EQ(a.success_rate, b.success_rate);
   EXPECT_EQ(a.rounds.mean, b.rounds.mean);
   EXPECT_EQ(a.rounds.p90, b.rounds.p90);
@@ -176,8 +180,48 @@ TEST(Sweep, TableAndCsvEmitOneRowPerCell) {
   std::istringstream in(csv.str());
   while (std::getline(in, line)) ++lines;
   EXPECT_EQ(lines, results.size() + 1);  // header + one per cell
-  EXPECT_NE(csv.str().find("algorithm,sizes,budget,trials,mean"),
+  EXPECT_NE(csv.str().find("algorithm,sizes,budget,trials,cell_seed,mean"),
             std::string::npos);
+}
+
+TEST(Sweep, CsvCellSeedRoundTrips) {
+  // The cell_seed column must carry the exact derived seed: parsing it
+  // back and re-running the cell's measure_* call under it reproduces
+  // the row — the contract a multi-process shard driver relies on.
+  const Fixture f;
+  const SweepOptions options{.trials = 300, .seed = 123, .threads = 1};
+  const auto results = run_sweep(f.grid().cells(), options);
+  std::ostringstream csv;
+  write_sweep_csv(csv, results);
+
+  std::istringstream in(csv.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  std::size_t seed_column = 0;
+  {
+    std::istringstream header(line);
+    std::string cell;
+    while (std::getline(header, cell, ',') && cell != "cell_seed") {
+      ++seed_column;
+    }
+    EXPECT_EQ(cell, "cell_seed");
+  }
+  for (const auto& result : results) {
+    ASSERT_TRUE(std::getline(in, line));
+    std::istringstream row(line);
+    std::string cell;
+    for (std::size_t c = 0; c <= seed_column; ++c) {
+      ASSERT_TRUE(std::getline(row, cell, ','));
+    }
+    const std::uint64_t parsed = std::stoull(cell);
+    EXPECT_EQ(parsed, result.cell_seed);
+  }
+
+  // Replay one cell from the parsed seed alone.
+  const auto replay = measure_uniform_no_cd(
+      f.decay, f.uniform, 300, results[0].cell_seed,
+      MeasureOptions{.max_rounds = 1 << 12, .threads = 1});
+  expect_identical(replay, results[0].measurement);
 }
 
 }  // namespace
