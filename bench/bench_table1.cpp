@@ -27,7 +27,9 @@
 #include "core/coded_search.h"
 #include "core/likelihood_schedule.h"
 #include "harness/fit.h"
+#include "harness/grids.h"
 #include "harness/measure.h"
+#include "harness/shard.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 #include "info/distribution.h"
@@ -53,60 +55,19 @@ MeasureOptions seed_path(std::size_t max_rounds) {
       .max_rounds = max_rounds, .threads = 1, .engine = NoCdEngine::kBinomial};
 }
 
-/// One Table 1 entropy point: the condensed source, its lifted actual
-/// distribution, and the paper's two algorithms configured for it.
-/// Owned here so sweep cells can reference them by pointer.
-struct EntropyPoint {
-  EntropyPoint(std::size_t ranges, std::size_t m, std::size_t n)
-      : condensed(crp::predict::uniform_over_ranges(ranges, m)),
-        actual(crp::predict::lift(
-            condensed, n, crp::predict::RangePlacement::kHighEndpoint)),
-        schedule(condensed),
-        policy(condensed),
-        h(condensed.entropy()) {}
-
-  crp::info::CondensedDistribution condensed;
-  crp::info::SizeDistribution actual;
-  crp::core::LikelihoodOrderedSchedule schedule;
-  crp::core::CodedSearchPolicy policy;
-  double h;
-};
-
-std::vector<EntropyPoint> entropy_points(std::size_t n) {
-  const std::size_t ranges = crp::info::num_ranges(n);
-  std::vector<EntropyPoint> points;
-  for (std::size_t m = 1; m <= ranges; m *= 2) {
-    points.emplace_back(ranges, m, n);
-  }
-  return points;
-}
-
-/// The Table 1 grid: per entropy point, the no-CD schedule and the CD
-/// policy paired with that point's lifted distribution (a diagonal
-/// sweep, so the cells are declared explicitly rather than crossed).
-crp::harness::SweepGrid upper_bound_grid(
-    const std::vector<EntropyPoint>& points) {
-  crp::harness::SweepGrid grid;
-  for (const auto& point : points) {
-    const crp::harness::SweepSizes sizes{
-        .name = "H=" + fmt(point.h, 2), .distribution = &point.actual};
-    grid.add_cell({.algorithm = {.name = "likelihood",
-                                 .schedule = &point.schedule},
-                   .sizes = sizes,
-                   .max_rounds = 1 << 18});
-    grid.add_cell({.algorithm = {.name = "coded", .policy = &point.policy},
-                   .sizes = sizes,
-                   .max_rounds = 1 << 14});
-  }
-  return grid;
-}
+// The Table 1 entropy points and upper-bound grid are the shared
+// reference definitions in harness/grids.h — the same cells the
+// crp_shard CLI runs, so sharded "table1" runs reproduce exactly this
+// bench's grid.
+using crp::harness::table1_entropy_points;
+using crp::harness::table1_upper_bound_grid;
 
 void print_upper_bounds() {
-  const auto points = entropy_points(kNetwork);
+  const auto points = table1_entropy_points(kNetwork);
   std::cout << "== Table 1 upper bounds (Y = X, n = " << kNetwork
             << ", trials = " << kTrials << ") ==\n";
   const auto results = crp::harness::run_sweep(
-      upper_bound_grid(points), {.trials = kTrials, .seed = kSeed});
+      table1_upper_bound_grid(points), {.trials = kTrials, .seed = kSeed});
   crp::harness::Table table(
       {"H(c(X))", "2^2H bound", "noCD r@1/16", "noCD p90", "noCD mean",
        "H^2 bound", "CD r@const", "CD p90", "CD mean"});
@@ -160,7 +121,7 @@ void print_lower_bounds() {
   // The baselines against every entropy point's lifted distribution:
   // one grid, fixed algorithms crossed by hand with the per-point
   // workloads.
-  const auto points = entropy_points(kNetwork);
+  const auto points = table1_entropy_points(kNetwork);
   crp::harness::SweepGrid grid;
   for (const auto& point : points) {
     const crp::harness::SweepSizes sizes{
@@ -289,11 +250,13 @@ BENCHMARK(BM_Table1NoCdSweepStreaming)
     ->Arg(1'000'000)
     ->Arg(10'000'000);
 
-// The same workload one layer up: the whole entropy sweep declared as
-// a grid and executed by the sweep scheduler in a single call (the
-// PR 2 acceptance pair is this plus BM_Table1NoCdSweepBatchParallel).
-void BM_Table1SweepScheduler(benchmark::State& state) {
-  const auto points = entropy_points(kNetwork);
+/// The no-CD likelihood cells of the entropy sweep — the shared
+/// workload of the scheduler-vs-sharded benchmark pair below, built
+/// in one place so the two grids cannot drift apart (their delta is
+/// meaningful only while the cells are identical). `points` must
+/// outlive the returned cells.
+std::vector<crp::harness::SweepCell> likelihood_sweep_cells(
+    const std::vector<crp::harness::Table1EntropyPoint>& points) {
   crp::harness::SweepGrid grid;
   for (const auto& point : points) {
     grid.add_cell({.algorithm = {.name = "likelihood",
@@ -302,7 +265,15 @@ void BM_Table1SweepScheduler(benchmark::State& state) {
                              .distribution = &point.actual},
                    .max_rounds = 1 << 18});
   }
-  const auto cells = grid.cells();
+  return grid.cells();
+}
+
+// The same workload one layer up: the whole entropy sweep declared as
+// a grid and executed by the sweep scheduler in a single call (the
+// PR 2 acceptance pair is this plus BM_Table1NoCdSweepBatchParallel).
+void BM_Table1SweepScheduler(benchmark::State& state) {
+  const auto points = table1_entropy_points(kNetwork);
+  const auto cells = likelihood_sweep_cells(points);
   double checksum = 0.0;
   for (auto _ : state) {
     const auto results = crp::harness::run_sweep(
@@ -312,6 +283,35 @@ void BM_Table1SweepScheduler(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Table1SweepScheduler)->Unit(benchmark::kMillisecond);
+
+// ---- PR 5 acceptance benchmark: sharded vs. monolithic sweep ----
+//
+// The BM_Table1SweepScheduler workload cut into 3 shards by the
+// shard driver (harness/shard.h) and reassembled with merge_shards —
+// what a 3-process fleet runs, executed sequentially in one process
+// here so the pair isolates the sharding overhead itself (planning,
+// manifests, merge validation). The delta vs BM_Table1SweepScheduler
+// is the price of the partition; the results are bit-identical
+// (tests/shard_test.cpp), so the checksum matches the monolithic
+// bench's exactly.
+void BM_Table1SweepSharded(benchmark::State& state) {
+  const auto points = table1_entropy_points(kNetwork);
+  const auto cells = likelihood_sweep_cells(points);
+  constexpr std::size_t kShards = 3;
+  double checksum = 0.0;
+  for (auto _ : state) {
+    std::vector<crp::harness::ShardRun> shards;
+    for (std::size_t i = 0; i < kShards; ++i) {
+      shards.push_back(crp::harness::run_sweep_shard(
+          cells, {.shard_count = kShards, .shard_index = i},
+          {.trials = kTrials, .seed = kSeed}));
+    }
+    const auto merged = crp::harness::merge_shards(shards);
+    for (const auto& result : merged) checksum += result.measurement.rounds.mean;
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_Table1SweepSharded)->Unit(benchmark::kMillisecond);
 
 // ---- google-benchmark microbenchmarks: per-round simulation cost ----
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -34,7 +35,46 @@ bool looks_numeric(const std::string& s) {
   return end == s.c_str() + s.size();
 }
 
+/// Contextual wrapper over parse_csv_finite for distribution rows:
+/// "nan" slips through every ordering comparison (NaN < 0 is false)
+/// and poisons the normalization total, "inf" overflows it — both are
+/// malformed input, not probabilities.
+double parse_finite(const std::string& field, std::size_t line_number,
+                    const char* what) {
+  const auto value = parse_csv_finite(field);
+  if (!value) {
+    throw std::invalid_argument("line " + std::to_string(line_number) +
+                                ": non-finite " + std::string(what) + " \"" +
+                                field + "\"");
+  }
+  return *value;
+}
+
 }  // namespace
+
+std::optional<std::uint64_t> parse_csv_unsigned(const std::string& field) {
+  if (field.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : field) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return std::nullopt;  // overflow
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<double> parse_csv_finite(const std::string& field) {
+  if (field.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size() || !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
+}
 
 info::SizeDistribution read_size_distribution_csv(std::istream& in,
                                                   std::size_t n) {
@@ -57,8 +97,8 @@ info::SizeDistribution read_size_distribution_csv(std::istream& in,
       throw std::invalid_argument("line " + std::to_string(line_number) +
                                   ": non-numeric row after data");
     }
-    const double size_value = std::stod(fields[0]);
-    const double prob = std::stod(fields[1]);
+    const double size_value = parse_finite(fields[0], line_number, "size");
+    const double prob = parse_finite(fields[1], line_number, "probability");
     if (size_value < 2.0 || size_value > static_cast<double>(n) ||
         size_value != std::floor(size_value)) {
       throw std::invalid_argument("line " + std::to_string(line_number) +
@@ -98,6 +138,63 @@ void write_size_distribution_csv(std::ostream& out,
   }
 }
 
+std::string csv_quote(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string quoted;
+  quoted.reserve(field.size() + 2);
+  quoted.push_back('"');
+  for (const char c : field) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+std::vector<std::string> split_csv_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::size_t i = 0;
+  while (true) {
+    field.clear();
+    if (i < line.size() && line[i] == '"') {
+      ++i;  // opening quote
+      bool closed = false;
+      while (i < line.size()) {
+        if (line[i] == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            field.push_back('"');
+            i += 2;
+          } else {
+            ++i;  // closing quote
+            closed = true;
+            break;
+          }
+        } else {
+          field.push_back(line[i++]);
+        }
+      }
+      if (!closed) {
+        throw std::invalid_argument("unterminated quoted CSV field: " + line);
+      }
+      if (i < line.size() && line[i] != ',') {
+        throw std::invalid_argument(
+            "garbage after closing quote in CSV field: " + line);
+      }
+    } else {
+      while (i < line.size() && line[i] != ',') field.push_back(line[i++]);
+    }
+    fields.push_back(field);
+    if (i >= line.size()) break;
+    ++i;  // the comma
+    if (i == line.size()) {  // trailing comma: final empty field
+      fields.emplace_back();
+      break;
+    }
+  }
+  return fields;
+}
+
 CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
     : out_(out), columns_(header.size()) {
   if (header.empty()) {
@@ -105,7 +202,7 @@ CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
   }
   for (std::size_t c = 0; c < header.size(); ++c) {
     if (c > 0) out_ << ',';
-    out_ << header[c];
+    out_ << csv_quote(header[c]);
   }
   out_ << '\n';
 }
@@ -116,7 +213,7 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
   }
   for (std::size_t c = 0; c < cells.size(); ++c) {
     if (c > 0) out_ << ',';
-    out_ << cells[c];
+    out_ << csv_quote(cells[c]);
   }
   out_ << '\n';
 }

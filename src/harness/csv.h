@@ -6,7 +6,9 @@
 //   measurement CSV:   one header row then one row per sweep point.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,7 +33,36 @@ info::SizeDistribution read_size_distribution_csv_file(
 void write_size_distribution_csv(std::ostream& out,
                                  const info::SizeDistribution& dist);
 
-/// A row-oriented CSV writer for sweep results.
+/// Strict numeric field parsing, shared by the distribution reader,
+/// the shard manifest/CSV readers (harness/shard.h), and CLI flag
+/// parsing. parse_csv_unsigned accepts plain decimal digits only —
+/// no sign, point, exponent, or words like nan/inf — and nullopt's
+/// on anything else (including 64-bit overflow). parse_csv_finite
+/// accepts exactly what strtod fully consumes *and* is finite:
+/// "nan"/"inf" parse but are rejected, because a NaN slips through
+/// ordering checks and poisons aggregates.
+std::optional<std::uint64_t> parse_csv_unsigned(const std::string& field);
+std::optional<double> parse_csv_finite(const std::string& field);
+
+/// Minimal RFC-4180 quoting: a field containing a comma, double quote,
+/// CR, or LF is wrapped in double quotes with embedded quotes doubled;
+/// any other field passes through unchanged (so existing all-plain
+/// outputs are byte-stable). CsvWriter applies this to every header
+/// and row cell.
+std::string csv_quote(const std::string& field);
+
+/// Quote-aware inverse of csv_quote over one CSV line: splits on
+/// unquoted commas and unescapes quoted fields (doubled quotes, and
+/// commas inside quotes survive). Unlike the lenient distribution
+/// parser it preserves whitespace and empty trailing fields exactly.
+/// Throws std::invalid_argument on an unterminated quote or trailing
+/// garbage after a closing quote.
+std::vector<std::string> split_csv_row(const std::string& line);
+
+/// A row-oriented CSV writer for sweep results. Cells are quoted with
+/// csv_quote on the way out, so algorithm/size-source names containing
+/// commas or quotes round-trip through split_csv_row instead of
+/// silently corrupting the row.
 class CsvWriter {
  public:
   CsvWriter(std::ostream& out, std::vector<std::string> header);

@@ -1,0 +1,45 @@
+#include "harness/grids.h"
+
+#include "harness/table.h"
+#include "predict/families.h"
+
+namespace crp::harness {
+
+Table1EntropyPoint::Table1EntropyPoint(std::size_t ranges, std::size_t m,
+                                       std::size_t n)
+    : condensed(predict::uniform_over_ranges(ranges, m)),
+      actual(predict::lift(condensed, n,
+                           predict::RangePlacement::kHighEndpoint)),
+      schedule(condensed),
+      policy(condensed),
+      h(condensed.entropy()) {}
+
+std::vector<Table1EntropyPoint> table1_entropy_points(std::size_t n) {
+  const std::size_t ranges = info::num_ranges(n);
+  std::vector<Table1EntropyPoint> points;
+  for (std::size_t m = 1; m <= ranges; m *= 2) {
+    points.emplace_back(ranges, m, n);
+  }
+  return points;
+}
+
+SweepGrid table1_upper_bound_grid(
+    std::span<const Table1EntropyPoint> points) {
+  SweepGrid grid;
+  for (const auto& point : points) {
+    SweepCell no_cd;
+    no_cd.algorithm = {.name = "likelihood", .schedule = &point.schedule};
+    no_cd.sizes = {.name = "H=" + fmt(point.h, 2),
+                   .distribution = &point.actual};
+    no_cd.max_rounds = 1 << 18;
+    SweepCell cd;
+    cd.algorithm = {.name = "coded", .policy = &point.policy};
+    cd.sizes = no_cd.sizes;
+    cd.max_rounds = 1 << 14;
+    grid.add_cell(std::move(no_cd));
+    grid.add_cell(std::move(cd));
+  }
+  return grid;
+}
+
+}  // namespace crp::harness

@@ -53,6 +53,17 @@ Measurement run_cell(const SweepCell& cell, std::size_t trials,
 
 }  // namespace
 
+std::uint64_t pinned_seed_stream(std::uint64_t stream) {
+  if (stream == kSeedStreamFromIndex) {
+    throw std::invalid_argument(
+        "seed_stream 0xFFFFFFFFFFFFFFFF is reserved as the "
+        "derive-from-grid-index sentinel (kSeedStreamFromIndex); an "
+        "explicit pin of this value would silently produce "
+        "position-dependent seeds");
+  }
+  return stream;
+}
+
 SweepGrid& SweepGrid::add_algorithm(SweepAlgorithm algorithm) {
   algorithms_.push_back(std::move(algorithm));
   return *this;

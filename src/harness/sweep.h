@@ -47,7 +47,24 @@
 namespace crp::harness {
 
 /// Sentinel: derive the cell's seed from its index in the grid.
+///
+/// The value 0xFFFF'FFFF'FFFF'FFFF is *reserved*: it is the default of
+/// SweepCell::seed_stream, and run_sweep cannot distinguish a caller
+/// who explicitly pinned it from one who never set the field — an
+/// explicit pin would silently fall back to index-derived (and thus
+/// grid-position-dependent) seeds, the exact instability pinning is
+/// meant to prevent. Route any stream identity that comes from
+/// external or computed input (CLI flags, config files, shard plans)
+/// through pinned_seed_stream(), which rejects the reserved value.
 inline constexpr std::uint64_t kSeedStreamFromIndex = ~std::uint64_t{0};
+
+/// Validates an *explicit* seed-stream identity: returns `stream`
+/// unchanged unless it equals the reserved kSeedStreamFromIndex
+/// sentinel, in which case it throws std::invalid_argument instead of
+/// letting the pin silently decay to index-derived seeds. The shard
+/// planner and the crp_shard CLI route every pinned stream through
+/// this.
+std::uint64_t pinned_seed_stream(std::uint64_t stream);
 
 /// One algorithm under test: exactly one of schedule/policy is
 /// non-null (uniform no-CD vs uniform CD). Referenced objects must
@@ -137,7 +154,10 @@ Table sweep_table(std::span<const SweepResult> results);
 /// CSV export: algorithm, sizes, budget, trials, cell_seed, then the
 /// measurement summary columns (harness/csv.h). cell_seed is the
 /// derived seed the cell ran under, so every row is independently
-/// replayable — the serialization hook for multi-process sharding.
+/// replayable — the serialization hook for multi-process sharding
+/// (harness/shard.h). Algorithm/size-source names are RFC-4180 quoted
+/// on the way out (csv_quote), so names containing commas or quotes
+/// survive the round trip through split_csv_row.
 void write_sweep_csv(std::ostream& out,
                      std::span<const SweepResult> results);
 

@@ -66,6 +66,30 @@ TEST(CsvRead, RejectsMalformedRows) {
   }
 }
 
+TEST(CsvRead, RejectsNonFiniteFieldsWithLineNumbers) {
+  // strtod happily parses nan/inf, and "nan" passes a `prob < 0.0`
+  // check (NaN comparisons are false) — both must be rejected as
+  // malformed, not silently folded into the normalization total.
+  for (const char* row : {"5,nan", "5,inf", "5,-inf", "nan,0.5", "inf,0.5",
+                          "5,NAN", "5,Infinity"}) {
+    std::istringstream in(std::string("4,0.25\n") + row + "\n");
+    try {
+      read_size_distribution_csv(in, 16);
+      FAIL() << "accepted non-finite row \"" << row << "\"";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+          << "row \"" << row << "\": error lacks the line number: "
+          << error.what();
+    }
+  }
+  {
+    // First data line too — non-finite must not be mistaken for a
+    // header row.
+    std::istringstream in("nan,0.5\n");
+    EXPECT_THROW(read_size_distribution_csv(in, 16), std::invalid_argument);
+  }
+}
+
 TEST(CsvRead, MissingFileThrows) {
   EXPECT_THROW(
       read_size_distribution_csv_file("/nonexistent/path.csv", 16),
@@ -82,6 +106,61 @@ TEST(CsvRoundTrip, WriteThenReadRecoversDistribution) {
   for (std::size_t k = 2; k <= 64; ++k) {
     EXPECT_NEAR(recovered.prob(k), original.prob(k), 1e-12) << "k=" << k;
   }
+}
+
+TEST(CsvFieldParsers, StrictUnsignedAndFiniteParsing) {
+  EXPECT_EQ(parse_csv_unsigned("0"), 0u);
+  EXPECT_EQ(parse_csv_unsigned("18446744073709551615"),
+            ~std::uint64_t{0});  // UINT64_MAX exactly
+  for (const char* bad : {"", "-1", "+1", "1.5", "1e3", "nan", "inf",
+                          "18446744073709551616", " 1", "1 "}) {
+    EXPECT_FALSE(parse_csv_unsigned(bad).has_value()) << bad;
+  }
+  EXPECT_EQ(parse_csv_finite("1.5"), 1.5);
+  EXPECT_EQ(parse_csv_finite("-2"), -2.0);
+  for (const char* bad : {"", "nan", "inf", "-inf", "NAN", "Infinity",
+                          "1.5x", "x"}) {
+    EXPECT_FALSE(parse_csv_finite(bad).has_value()) << bad;
+  }
+}
+
+TEST(CsvQuoting, QuoteAndSplitRoundTrip) {
+  // Plain fields pass through untouched (existing outputs stay
+  // byte-stable); fields with commas/quotes/newlines get RFC-4180
+  // treatment and split_csv_row undoes it exactly.
+  EXPECT_EQ(csv_quote("plain"), "plain");
+  EXPECT_EQ(csv_quote(""), "");
+  EXPECT_EQ(csv_quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_quote("line\nbreak"), "\"line\nbreak\"");
+
+  for (const std::vector<std::string> fields :
+       {std::vector<std::string>{"a", "b", "c"},
+        std::vector<std::string>{"a,b", "c\"d", ""},
+        std::vector<std::string>{"", "", ""},
+        std::vector<std::string>{"x"}}) {
+    std::string line;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) line += ',';
+      line += csv_quote(fields[i]);
+    }
+    EXPECT_EQ(split_csv_row(line), fields) << "line: " << line;
+  }
+
+  EXPECT_EQ(split_csv_row("a,"),
+            (std::vector<std::string>{"a", ""}));  // trailing empty field
+  EXPECT_EQ(split_csv_row("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_THROW(split_csv_row("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(split_csv_row("\"a\"garbage,b"), std::invalid_argument);
+}
+
+TEST(CsvWriterTest, QuotesCellsOnWrite) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"name", "value"});
+  writer.row({"a,b", "1"});
+  writer.row({"q\"q", "2"});
+  EXPECT_EQ(out.str(), "name,value\n\"a,b\",1\n\"q\"\"q\",2\n");
 }
 
 TEST(CsvWriterTest, WritesHeaderAndRows) {

@@ -1,0 +1,528 @@
+// The sharding subsystem (harness/shard.h): the deterministic
+// partition's invariants (disjoint, covering, stable), merged shards
+// bit-identical to the monolithic run_sweep for no-CD and CD
+// (history-tree engine) grids at every shard count, the byte-identical
+// CSV-level merge, the manifest JSON round trip, and the merge
+// validation that rejects mismatched, overlapping, or gappy shard
+// sets with actionable errors.
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/decay.h"
+#include "baselines/willard.h"
+#include "harness/shard.h"
+#include "harness/sweep.h"
+#include "info/distribution.h"
+
+namespace crp::harness {
+namespace {
+
+void expect_identical(const Measurement& a, const Measurement& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_TRUE(a.histogram == b.histogram);
+  EXPECT_EQ(a.success_rate, b.success_rate);
+  EXPECT_EQ(a.rounds.mean, b.rounds.mean);
+  EXPECT_EQ(a.rounds.p90, b.rounds.p90);
+}
+
+/// The sweep_test fixture: two schedules and a CD policy crossed with
+/// two workloads — 6 cells, enough for uneven partitions.
+struct Fixture {
+  Fixture()
+      : decay(1 << 10),
+        slow_decay(1 << 6),
+        willard(1 << 10),
+        uniform(info::SizeDistribution::uniform(1 << 10)) {}
+
+  SweepGrid grid() const {
+    SweepGrid grid;
+    grid.add_algorithm({.name = "decay", .schedule = &decay})
+        .add_algorithm({.name = "slow-decay", .schedule = &slow_decay})
+        .add_algorithm({.name = "willard", .policy = &willard})
+        .add_sizes({.name = "uniform", .distribution = &uniform})
+        .add_sizes({.name = "k=100", .fixed_k = 100})
+        .add_budget(1 << 12);
+    return grid;
+  }
+
+  baselines::DecaySchedule decay;
+  baselines::DecaySchedule slow_decay;
+  baselines::WillardPolicy willard;
+  info::SizeDistribution uniform;
+};
+
+TEST(ShardPlan, PartitionIsDisjointCoveringAndStable) {
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  for (const std::size_t count : {1ul, 2ul, 3ul, 4ul, 6ul, 9ul}) {
+    std::size_t expected_begin = 0;
+    for (std::size_t index = 0; index < count; ++index) {
+      const auto plan = plan_shards(
+          cells, {.shard_count = count, .shard_index = index});
+      // Contiguous, in order, no gap and no overlap with the previous
+      // shard; together the shards tile [0, cells.size()).
+      EXPECT_EQ(plan.cell_begin, expected_begin);
+      EXPECT_LE(plan.cell_begin, plan.cell_end);
+      EXPECT_EQ(plan.cells.size(), plan.cell_end - plan.cell_begin);
+      EXPECT_EQ(plan.total_cells, cells.size());
+      expected_begin = plan.cell_end;
+      // Stable: planning again yields the same slice and hash.
+      const auto again = plan_shards(
+          cells, {.shard_count = count, .shard_index = index});
+      EXPECT_EQ(again.cell_begin, plan.cell_begin);
+      EXPECT_EQ(again.cell_end, plan.cell_end);
+      EXPECT_EQ(again.grid_hash, plan.grid_hash);
+    }
+    EXPECT_EQ(expected_begin, cells.size());
+  }
+}
+
+TEST(ShardPlan, PinsSeedStreamsToGlobalGridIndex) {
+  const Fixture f;
+  auto cells = f.grid().cells();
+  cells[4].seed_stream = 1234;  // an explicit pin must survive
+  const auto plan = plan_shards(cells, {.shard_count = 3, .shard_index = 2});
+  ASSERT_EQ(plan.cell_begin, 4u);
+  ASSERT_EQ(plan.cells.size(), 2u);
+  EXPECT_EQ(plan.cells[0].seed_stream, 1234u);
+  EXPECT_EQ(plan.cells[1].seed_stream, 5u);  // global index, not local 1
+}
+
+TEST(ShardPlan, ExplicitCellRanges) {
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  const auto plan =
+      plan_shards(cells, {.cell_begin = 2, .cell_end = 5});
+  EXPECT_EQ(plan.cell_begin, 2u);
+  EXPECT_EQ(plan.cell_end, 5u);
+  EXPECT_EQ(plan.cells.size(), 3u);
+  EXPECT_EQ(plan.cells[0].seed_stream, 2u);
+}
+
+TEST(ShardPlan, RejectsInvalidOptions) {
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  const std::vector<SweepCell> empty;
+  EXPECT_THROW(plan_shards(empty, {.shard_count = 1, .shard_index = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(plan_shards(cells, {.shard_count = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(plan_shards(cells, {.shard_count = 2, .shard_index = 2}),
+               std::invalid_argument);
+  EXPECT_THROW(plan_shards(cells, {.cell_begin = 2}),  // half-set range
+               std::invalid_argument);
+  EXPECT_THROW(plan_shards(cells, {.cell_begin = 2, .cell_end = 99}),
+               std::invalid_argument);
+  EXPECT_THROW(plan_shards(cells, {.cell_begin = 5, .cell_end = 2}),
+               std::invalid_argument);
+}
+
+TEST(ShardPlan, GridFingerprintSeesContentChanges) {
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  const std::uint64_t base = grid_fingerprint(cells);
+  EXPECT_EQ(grid_fingerprint(cells), base);  // deterministic
+
+  auto renamed = cells;
+  renamed[0].algorithm.name = "decay-v2";
+  EXPECT_NE(grid_fingerprint(renamed), base);
+
+  auto rebudgeted = cells;
+  rebudgeted[3].max_rounds *= 2;
+  EXPECT_NE(grid_fingerprint(rebudgeted), base);
+
+  // Distribution *contents* matter, not the pointer identity.
+  const Fixture g;
+  EXPECT_EQ(grid_fingerprint(g.grid().cells()), base);
+
+  // Algorithm *parameters* matter too: the same name over a
+  // differently-parameterized schedule must change the fingerprint
+  // (the behavioral probe), or shards of materially different
+  // experiments would merge silently.
+  auto reparameterized = cells;
+  ASSERT_EQ(reparameterized[0].algorithm.name, "decay");
+  reparameterized[0].algorithm.schedule = &f.slow_decay;
+  EXPECT_NE(grid_fingerprint(reparameterized), base);
+}
+
+/// Shard every way, merge, and compare against the monolithic sweep —
+/// results must be bit-identical, cell for cell.
+void expect_shards_match_monolithic(const std::vector<SweepCell>& cells,
+                                    const SweepOptions& options) {
+  const auto monolithic = run_sweep(cells, options);
+  for (const std::size_t count : {1ul, 2ul, 3ul, 4ul, 6ul}) {
+    std::vector<ShardRun> shards;
+    for (std::size_t index = 0; index < count; ++index) {
+      shards.push_back(run_sweep_shard(
+          cells, {.shard_count = count, .shard_index = index}, options));
+    }
+    const auto merged = merge_shards(shards);
+    ASSERT_EQ(merged.size(), monolithic.size()) << "shard count " << count;
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged[i].cell_index, monolithic[i].cell_index);
+      EXPECT_EQ(merged[i].cell_seed, monolithic[i].cell_seed);
+      expect_identical(merged[i].measurement, monolithic[i].measurement);
+    }
+  }
+}
+
+TEST(ShardMerge, BitIdenticalToMonolithicNoCdAndSimulatedCd) {
+  const Fixture f;
+  expect_shards_match_monolithic(
+      f.grid().cells(), {.trials = 300, .seed = 17, .threads = 1});
+}
+
+TEST(ShardMerge, BitIdenticalToMonolithicHistoryTreeCd) {
+  // The CD cells route through the history-tree engine; each shard
+  // builds its own expansion cache, which must not change results.
+  const Fixture f;
+  expect_shards_match_monolithic(
+      f.grid().cells(), {.trials = 300,
+                         .seed = 17,
+                         .threads = 1,
+                         .cd_engine = CdEngine::kHistoryTree});
+}
+
+TEST(ShardMerge, AcceptsEmptyShardsInAnyArgumentOrder) {
+  // shard_count > cell count is legal and produces empty ranges; a
+  // merge handed the shards in reverse order must not misread an
+  // empty [x, x) shard listed after the non-empty [x, y) one as an
+  // overlap.
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  const SweepOptions options{.trials = 100, .seed = 8, .threads = 1};
+  const auto monolithic = run_sweep(cells, options);
+  std::vector<ShardRun> shards;
+  for (std::size_t index = 9; index-- > 0;) {  // reversed, 3 empty shards
+    shards.push_back(run_sweep_shard(
+        cells, {.shard_count = 9, .shard_index = index}, options));
+  }
+  const auto merged = merge_shards(shards);
+  ASSERT_EQ(merged.size(), monolithic.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].cell_seed, monolithic[i].cell_seed);
+  }
+}
+
+TEST(ShardMerge, MergeOrderIsCellOrderNotArgumentOrder) {
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  const SweepOptions options{.trials = 200, .seed = 3, .threads = 1};
+  const auto monolithic = run_sweep(cells, options);
+  std::vector<ShardRun> shards;
+  for (const std::size_t index : {2ul, 0ul, 1ul}) {  // shuffled
+    shards.push_back(run_sweep_shard(
+        cells, {.shard_count = 3, .shard_index = index}, options));
+  }
+  const auto merged = merge_shards(shards);
+  ASSERT_EQ(merged.size(), monolithic.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].cell_index, i);
+    EXPECT_EQ(merged[i].cell_seed, monolithic[i].cell_seed);
+  }
+}
+
+/// Builds the on-disk artifact pair for one shard, in memory.
+ShardArtifact artifact_of(const ShardRun& run) {
+  ShardArtifact artifact;
+  artifact.manifest = run.manifest;
+  std::ostringstream csv;
+  write_sweep_csv(csv, run.results);
+  std::istringstream csv_in(csv.str());
+  artifact.csv = read_shard_csv(csv_in);
+  return artifact;
+}
+
+TEST(ShardMerge, CsvMergeIsByteIdenticalToMonolithicWrite) {
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  const SweepOptions options{.trials = 250, .seed = 99, .threads = 1};
+  std::ostringstream monolithic;
+  write_sweep_csv(monolithic, run_sweep(cells, options));
+
+  for (const std::size_t count : {2ul, 3ul, 5ul}) {
+    std::vector<ShardArtifact> artifacts;
+    for (std::size_t index = 0; index < count; ++index) {
+      artifacts.push_back(artifact_of(run_sweep_shard(
+          cells, {.shard_count = count, .shard_index = index}, options)));
+    }
+    std::ostringstream merged;
+    merge_shard_csvs(merged, artifacts);
+    EXPECT_EQ(merged.str(), monolithic.str()) << "shard count " << count;
+  }
+}
+
+TEST(ShardMerge, CsvMergeSurvivesNewlineBearingNames) {
+  // csv_quote legally emits raw newlines inside quoted fields; the
+  // shard CSV re-reader must reassemble such multi-line records and
+  // the merge must still be byte-identical to the monolithic write.
+  const Fixture f;
+  SweepGrid grid;
+  grid.add_cell({.algorithm = {.name = "decay\nnightly", .schedule = &f.decay},
+                 .sizes = {.name = "uniform", .distribution = &f.uniform},
+                 .max_rounds = 1 << 12});
+  grid.add_cell({.algorithm = {.name = "plain", .schedule = &f.slow_decay},
+                 .sizes = {.name = "k=100", .fixed_k = 100},
+                 .max_rounds = 1 << 12});
+  const auto cells = grid.cells();
+  const SweepOptions options{.trials = 100, .seed = 6, .threads = 1};
+  std::ostringstream monolithic;
+  write_sweep_csv(monolithic, run_sweep(cells, options));
+
+  std::vector<ShardArtifact> artifacts;
+  for (std::size_t index = 0; index < 2; ++index) {
+    artifacts.push_back(artifact_of(run_sweep_shard(
+        cells, {.shard_count = 2, .shard_index = index}, options)));
+  }
+  std::ostringstream merged;
+  merge_shard_csvs(merged, artifacts);
+  EXPECT_EQ(merged.str(), monolithic.str());
+}
+
+TEST(ShardManifest, JsonRoundTrip) {
+  ShardManifest manifest{.csv = "shard-1-of-3.csv",
+                         .engine = "batch",
+                         .cd_engine = "history-tree",
+                         .grid_hash = 0xdeadbeefcafef00dULL,
+                         .master_seed = ~std::uint64_t{0},
+                         .trials = 6000,
+                         .total_cells = 32,
+                         .shard_index = 1,
+                         .shard_count = 3,
+                         .cell_begin = 10,
+                         .cell_end = 21,
+                         .cell_seeds = {}};
+  for (std::size_t i = 0; i < 11; ++i) {
+    manifest.cell_seeds.push_back(0x1000 + i * 0x0123456789abcdefULL);
+  }
+  std::stringstream json;
+  write_shard_manifest(json, manifest);
+  const ShardManifest parsed = read_shard_manifest(json);
+  EXPECT_EQ(parsed.csv, manifest.csv);
+  EXPECT_EQ(parsed.engine, manifest.engine);
+  EXPECT_EQ(parsed.cd_engine, manifest.cd_engine);
+  EXPECT_EQ(parsed.grid_hash, manifest.grid_hash);
+  EXPECT_EQ(parsed.master_seed, manifest.master_seed);
+  EXPECT_EQ(parsed.trials, manifest.trials);
+  EXPECT_EQ(parsed.total_cells, manifest.total_cells);
+  EXPECT_EQ(parsed.shard_index, manifest.shard_index);
+  EXPECT_EQ(parsed.shard_count, manifest.shard_count);
+  EXPECT_EQ(parsed.cell_begin, manifest.cell_begin);
+  EXPECT_EQ(parsed.cell_end, manifest.cell_end);
+  EXPECT_EQ(parsed.cell_seeds, manifest.cell_seeds);
+}
+
+TEST(ShardManifest, JsonRoundTripsEscapedCsvNames) {
+  // json_escape emits \" \\ \n and \u00xx for control characters; the
+  // strict parser must read back exactly what the writer produced.
+  ShardManifest manifest{.cell_seeds = {1}};
+  manifest.total_cells = 1;
+  manifest.cell_end = 1;
+  manifest.csv = "odd \"name\"\\with\nnewline\x01.csv";
+  std::stringstream json;
+  write_shard_manifest(json, manifest);
+  EXPECT_EQ(read_shard_manifest(json).csv, manifest.csv);
+}
+
+/// Expects `action` to throw std::invalid_argument whose message
+/// contains `needle` — the actionable part of the error.
+template <typename Action>
+void expect_throws_with(const Action& action, const std::string& needle) {
+  try {
+    action();
+    FAIL() << "expected std::invalid_argument containing \"" << needle
+           << "\"";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "actual error: " << error.what();
+  }
+}
+
+TEST(ShardManifest, ParserRejectsMalformedInput) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return read_shard_manifest(in);
+  };
+  ShardManifest manifest{.cell_seeds = {1, 2}};
+  manifest.total_cells = 2;
+  manifest.cell_end = 2;
+  std::ostringstream json;
+  write_shard_manifest(json, manifest);
+  const std::string good = json.str();
+  EXPECT_NO_THROW(parse(good));
+
+  const auto reject_trials_value = [&](const std::string& value) {
+    std::string text = good;
+    const std::string from = "\"trials\": 0";
+    const auto at = text.find(from);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, from.size(), "\"trials\": " + value);
+    expect_throws_with([&] { (void)parse(text); }, "trials");
+  };
+  // Non-finite / non-integer numerics are rejected with the field
+  // named — the CSV-layer guard applied to the manifest reader.
+  reject_trials_value("nan");
+  reject_trials_value("inf");
+  reject_trials_value("-1");
+  reject_trials_value("1.5");
+  reject_trials_value("1e3");
+
+  expect_throws_with(
+      [&] {
+        (void)parse(std::string(good).replace(good.find("0x1\""), 4,
+                                              "0xg\""));
+      },
+      "non-hex");
+  expect_throws_with([&] { (void)parse("{}"); }, "missing manifest field");
+  expect_throws_with([&] { (void)parse("not json"); }, "expected");
+  {
+    std::string unknown = good;
+    unknown.insert(unknown.find("\"csv\""), "\"bogus\": 1, ");
+    expect_throws_with([&] { (void)parse(unknown); }, "unknown");
+  }
+  {
+    std::string duplicate = good;
+    duplicate.insert(duplicate.find("\"trials\""), "\"trials\": 0, ");
+    expect_throws_with([&] { (void)parse(duplicate); }, "duplicate");
+  }
+  {
+    std::string format = good;
+    format.replace(format.find("crp-shard-manifest-v1"),
+                   std::string("crp-shard-manifest-v1").size(),
+                   "crp-shard-manifest-v999");
+    expect_throws_with([&] { (void)parse(format); }, "format");
+  }
+}
+
+TEST(ShardMerge, RejectsMismatchedShardSets) {
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  const SweepOptions options{.trials = 150, .seed = 11, .threads = 1};
+  std::vector<ShardRun> shards;
+  for (std::size_t index = 0; index < 3; ++index) {
+    shards.push_back(run_sweep_shard(
+        cells, {.shard_count = 3, .shard_index = index}, options));
+  }
+  EXPECT_NO_THROW(merge_shards(shards));
+
+  {
+    auto broken = shards;
+    broken[1].manifest.master_seed ^= 1;
+    expect_throws_with([&] { (void)merge_shards(broken); }, "master seed");
+  }
+  {
+    auto broken = shards;
+    broken[2].manifest.trials += 1;
+    expect_throws_with([&] { (void)merge_shards(broken); }, "trials");
+  }
+  {
+    auto broken = shards;
+    broken[0].manifest.grid_hash ^= 0xff;
+    expect_throws_with([&] { (void)merge_shards(broken); }, "grid hash");
+  }
+  {
+    auto broken = shards;
+    broken[1].manifest.cd_engine = "history-tree";
+    expect_throws_with([&] { (void)merge_shards(broken); },
+                       "engine configuration");
+  }
+  {
+    // Missing shard: a gap in the cell ranges.
+    const std::vector<ShardRun> missing{shards[0], shards[2]};
+    expect_throws_with([&] { (void)merge_shards(missing); }, "gap");
+  }
+  {
+    // Overlap: the same shard twice.
+    const std::vector<ShardRun> twice{shards[0], shards[0], shards[1],
+                                      shards[2]};
+    expect_throws_with([&] { (void)merge_shards(twice); }, "overlap");
+  }
+  {
+    // A shard whose partition changed a cell seed.
+    auto broken = shards;
+    broken[1].manifest.cell_seeds[0] ^= 1;
+    expect_throws_with([&] { (void)merge_shards(broken); }, "cell seed");
+  }
+  {
+    std::vector<ShardRun> none;
+    expect_throws_with([&] { (void)merge_shards(none); }, "no shards");
+  }
+}
+
+TEST(ShardMerge, CsvMergeRejectsTamperedArtifacts) {
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  const SweepOptions options{.trials = 150, .seed = 23, .threads = 1};
+  std::vector<ShardArtifact> artifacts;
+  for (std::size_t index = 0; index < 2; ++index) {
+    artifacts.push_back(artifact_of(run_sweep_shard(
+        cells, {.shard_count = 2, .shard_index = index}, options)));
+  }
+  {
+    std::ostringstream out;
+    EXPECT_NO_THROW(merge_shard_csvs(out, artifacts));
+  }
+  {
+    auto broken = artifacts;
+    broken[0].csv.rows.pop_back();
+    broken[0].csv.row_seeds.pop_back();
+    std::ostringstream out;
+    expect_throws_with([&] { merge_shard_csvs(out, broken); }, "rows");
+  }
+  {
+    auto broken = artifacts;
+    broken[1].csv.header += ",extra";
+    std::ostringstream out;
+    expect_throws_with([&] { merge_shard_csvs(out, broken); }, "header");
+  }
+  {
+    auto broken = artifacts;
+    broken[1].csv.row_seeds[0] ^= 1;
+    std::ostringstream out;
+    expect_throws_with([&] { merge_shard_csvs(out, broken); }, "cell_seed");
+  }
+}
+
+TEST(ShardCsvRead, ValidatesNumericColumnsAndToleratesQuotes) {
+  // A quoted, comma-bearing algorithm name must parse, and the parsed
+  // cell_seed must come out of the quoted row intact.
+  const std::string header =
+      "algorithm,sizes,budget,trials,cell_seed,mean,ci95,p50,p90,p99,"
+      "success_rate";
+  {
+    std::istringstream in(header +
+                          "\n\"decay, fast\",uniform,4096,100,42,1.5,0.1,"
+                          "1.0,2.0,3.0,1.0\n");
+    const ShardCsv csv = read_shard_csv(in);
+    ASSERT_EQ(csv.rows.size(), 1u);
+    EXPECT_EQ(csv.row_seeds[0], 42u);
+  }
+  {
+    std::istringstream in(header +
+                          "\ndecay,uniform,4096,100,42,nan,0.1,1.0,2.0,"
+                          "3.0,1.0\n");
+    expect_throws_with([&] { (void)read_shard_csv(in); }, "non-finite");
+  }
+  {
+    std::istringstream in(header +
+                          "\ndecay,uniform,4096,100,-42,1.5,0.1,1.0,2.0,"
+                          "3.0,1.0\n");
+    expect_throws_with([&] { (void)read_shard_csv(in); }, "cell_seed");
+  }
+  {
+    std::istringstream in("algorithm,sizes\ndecay,uniform\n");
+    expect_throws_with([&] { (void)read_shard_csv(in); }, "cell_seed");
+  }
+  {
+    std::istringstream in(header + "\ndecay,uniform,4096\n");
+    expect_throws_with([&] { (void)read_shard_csv(in); }, "fields");
+  }
+}
+
+}  // namespace
+}  // namespace crp::harness

@@ -10,6 +10,7 @@
 #include "baselines/decay.h"
 #include "baselines/willard.h"
 #include "channel/rng.h"
+#include "harness/csv.h"
 #include "harness/sweep.h"
 #include "info/distribution.h"
 
@@ -222,6 +223,49 @@ TEST(Sweep, CsvCellSeedRoundTrips) {
       f.decay, f.uniform, 300, results[0].cell_seed,
       MeasureOptions{.max_rounds = 1 << 12, .threads = 1});
   expect_identical(replay, results[0].measurement);
+}
+
+TEST(Sweep, CsvQuotesCommaAndQuoteBearingNames) {
+  // A name containing a comma or a double quote must survive the CSV
+  // round trip instead of silently splitting its row (RFC-4180
+  // quoting in CsvWriter, quote-aware split_csv_row on the way back).
+  const Fixture f;
+  SweepGrid grid;
+  grid.add_cell({.algorithm = {.name = "decay, tuned \"v2\"",
+                               .schedule = &f.decay},
+                 .sizes = {.name = "uniform, n=1024",
+                           .distribution = &f.uniform},
+                 .max_rounds = 1 << 12});
+  const auto results =
+      run_sweep(grid.cells(), {.trials = 100, .seed = 4, .threads = 1});
+  std::ostringstream csv;
+  write_sweep_csv(csv, results);
+
+  std::istringstream in(csv.str());
+  std::string header_line;
+  std::string row_line;
+  ASSERT_TRUE(std::getline(in, header_line));
+  ASSERT_TRUE(std::getline(in, row_line));
+  const auto header = split_csv_row(header_line);
+  const auto row = split_csv_row(row_line);
+  ASSERT_EQ(row.size(), header.size());  // the row did not split
+  EXPECT_EQ(row[0], "decay, tuned \"v2\"");
+  EXPECT_EQ(row[1], "uniform, n=1024");
+  // The raw line carries both names RFC-4180 quoted.
+  EXPECT_EQ(
+      row_line.rfind("\"decay, tuned \"\"v2\"\"\",\"uniform, n=1024\",", 0),
+      0u);
+}
+
+TEST(Sweep, PinnedSeedStreamRejectsReservedSentinel) {
+  // kSeedStreamFromIndex is reserved: an explicit pin of 0xFFFF...F is
+  // indistinguishable from the default and would silently decay to
+  // index-derived seeds, so the pinning helper throws instead.
+  EXPECT_THROW(pinned_seed_stream(kSeedStreamFromIndex),
+               std::invalid_argument);
+  EXPECT_EQ(pinned_seed_stream(0), 0u);
+  EXPECT_EQ(pinned_seed_stream(~std::uint64_t{0} - 1),
+            ~std::uint64_t{0} - 1);
 }
 
 }  // namespace

@@ -1,0 +1,330 @@
+// crp_shard: multi-process sweep shard driver and merge tool.
+//
+// Partitions a sweep grid's cells across processes and reassembles the
+// per-shard artifacts into exactly the CSV a single-process run would
+// have written — byte for byte (harness/shard.h is the library layer;
+// the CI shard-smoke step diffs the two outputs).
+//
+// Usage:
+//   crp_shard run   [--grid table1] [--n N] [--trials T] [--seed S]
+//                   [--threads T] [--cd-engine simulate|tree]
+//                   [--shard I/N] [--cells B:E] [--out FILE]
+//                   [--out-dir DIR]
+//   crp_shard merge --out FILE MANIFEST.json...
+//
+// run without --shard/--cells executes the whole grid in this process
+// and writes the sweep CSV to --out (default: stdout) — the reference
+// a sharded run must reproduce. With --shard i/N (or an explicit
+// --cells begin:end range) it executes only that slice and writes a
+// self-describing artifact pair into --out-dir:
+//
+//   DIR/shard-<i>-of-<N>.csv            write_sweep_csv rows (slice only)
+//   DIR/shard-<i>-of-<N>.manifest.json  grid hash, master seed, trials,
+//                                       cell range, per-cell seeds
+//
+// merge validates the manifests against each other (same grid hash,
+// seed, and trials; cell ranges tile the grid with no gaps or
+// overlaps; per-row cell seeds match the manifests) and writes the
+// concatenated CSV in cell order. So
+//
+//   for i in 0 1 2; do crp_shard run --shard $i/3 --out-dir S ...; done
+//   crp_shard merge --out merged.csv S/*.manifest.json
+//
+// round-trips bit-identically to `crp_shard run --out single.csv ...`
+// with the same grid parameters — on one machine or three.
+//
+// Grids:
+//   table1   the paper's Table 1 upper-bound grid: per entropy point
+//            (m = 1, 2, 4, ... ranges of uniform condensed mass over
+//            |L(n)| ranges), the Section 2.5 likelihood-ordered no-CD
+//            schedule and the Section 2.6 coded-search CD policy, each
+//            against that point's lifted distribution. --n scales the
+//            network (and with it the number of entropy points).
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/csv.h"
+#include "harness/grids.h"
+#include "harness/shard.h"
+#include "harness/sweep.h"
+
+namespace {
+
+struct Options {
+  std::string mode;
+  std::string grid = "table1";
+  std::size_t n = 1 << 16;
+  std::size_t trials = 6000;
+  std::uint64_t seed = 20210526;
+  std::size_t threads = 0;
+  std::string cd_engine = "simulate";
+  bool sharded = false;
+  bool shard_flag = false;
+  bool cells_flag = false;
+  crp::harness::ShardOptions shard;
+  std::string out;
+  std::string out_dir;
+  std::vector<std::string> manifests;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "crp_shard: " << message << "\n"
+            << "usage: crp_shard run [--grid table1] [--n N] [--trials T]"
+               " [--seed S] [--threads T] [--cd-engine simulate|tree]"
+               " [--shard I/N] [--cells B:E] [--out FILE] [--out-dir DIR]\n"
+               "       crp_shard merge --out FILE MANIFEST.json...\n";
+  std::exit(2);
+}
+
+std::size_t parse_size(const std::string& value, const std::string& flag) {
+  // Strict digits only: std::stoull would silently wrap "-1" to
+  // 2^64 - 1 instead of rejecting it.
+  const auto parsed = crp::harness::parse_csv_unsigned(value);
+  if (!parsed) {
+    usage_error("expected a non-negative integer for " + flag + ", got \"" +
+                value + "\"");
+  }
+  return static_cast<std::size_t>(*parsed);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  if (argc < 2) usage_error("missing mode (run or merge)");
+  options.mode = argv[1];
+  if (options.mode != "run" && options.mode != "merge") {
+    usage_error("unknown mode \"" + options.mode + "\"");
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--grid") {
+      options.grid = next();
+    } else if (arg == "--n") {
+      options.n = parse_size(next(), arg);
+    } else if (arg == "--trials") {
+      options.trials = parse_size(next(), arg);
+    } else if (arg == "--seed") {
+      options.seed = parse_size(next(), arg);
+    } else if (arg == "--threads") {
+      options.threads = parse_size(next(), arg);
+    } else if (arg == "--cd-engine") {
+      options.cd_engine = next();
+    } else if (arg == "--shard") {
+      const std::string spec = next();
+      const auto slash = spec.find('/');
+      if (slash == std::string::npos) {
+        usage_error("--shard expects I/N, got \"" + spec + "\"");
+      }
+      options.sharded = true;
+      options.shard_flag = true;
+      options.shard.shard_index =
+          parse_size(spec.substr(0, slash), "--shard index");
+      options.shard.shard_count =
+          parse_size(spec.substr(slash + 1), "--shard count");
+    } else if (arg == "--cells") {
+      const std::string spec = next();
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) {
+        usage_error("--cells expects BEGIN:END, got \"" + spec + "\"");
+      }
+      options.sharded = true;
+      options.cells_flag = true;
+      options.shard.cell_begin =
+          parse_size(spec.substr(0, colon), "--cells begin");
+      options.shard.cell_end =
+          parse_size(spec.substr(colon + 1), "--cells end");
+    } else if (arg == "--out") {
+      options.out = next();
+    } else if (arg == "--out-dir") {
+      options.out_dir = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "see the header comment of tools/crp_shard.cpp\n";
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown argument " + arg);
+    } else {
+      options.manifests.push_back(arg);
+    }
+  }
+  if (options.mode == "run" && !options.manifests.empty()) {
+    usage_error("run mode takes no positional arguments");
+  }
+  if (options.mode == "merge" && options.manifests.empty()) {
+    usage_error("merge mode needs at least one manifest path");
+  }
+  if (options.mode == "merge" && options.out.empty()) {
+    usage_error("merge mode needs --out FILE");
+  }
+  if (options.shard_flag && options.cells_flag) {
+    // plan_shards would take the explicit-range branch and silently
+    // record the unrelated --shard values in the manifest.
+    usage_error("--shard and --cells are mutually exclusive");
+  }
+  if (options.sharded && !options.out.empty()) {
+    usage_error("--out applies to whole-grid runs; sharded runs write "
+                "their artifact pair into --out-dir");
+  }
+  if (options.n < 4) usage_error("--n must be >= 4");
+  return options;
+}
+
+/// A grid plus the entropy points its cells reference; keep alive
+/// until the sweep is done. The cells come from the shared reference
+/// builder (harness/grids.h), so "table1" here is exactly the grid
+/// bench_table1 measures.
+struct OwnedGrid {
+  std::vector<crp::harness::Table1EntropyPoint> points;
+  std::vector<crp::harness::SweepCell> cells;
+};
+
+OwnedGrid table1_grid(const Options& options) {
+  OwnedGrid owned;
+  owned.points = crp::harness::table1_entropy_points(options.n);
+  owned.cells = crp::harness::table1_upper_bound_grid(owned.points).cells();
+  return owned;
+}
+
+crp::harness::SweepOptions sweep_options(const Options& options) {
+  crp::harness::SweepOptions sweep{.trials = options.trials,
+                                   .seed = options.seed,
+                                   .threads = options.threads};
+  if (options.cd_engine == "tree") {
+    sweep.cd_engine = crp::harness::CdEngine::kHistoryTree;
+  } else if (options.cd_engine != "simulate") {
+    usage_error("unknown --cd-engine \"" + options.cd_engine +
+                "\" (simulate|tree)");
+  }
+  return sweep;
+}
+
+void write_file(const std::filesystem::path& path,
+                const std::string& contents) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+  // Flush before the state check: a destructor-time flush failure
+  // (disk full) would otherwise go unreported and leave a truncated
+  // artifact behind a zero exit code.
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("cannot write " + path.string());
+  }
+}
+
+int run_mode(const Options& options) {
+  if (options.grid != "table1") {
+    usage_error("unknown grid \"" + options.grid + "\"");
+  }
+  const OwnedGrid grid = table1_grid(options);
+  const auto sweep = sweep_options(options);
+
+  if (!options.sharded) {
+    // The monolithic reference: the whole grid in one process.
+    const auto results = crp::harness::run_sweep(
+        std::span<const crp::harness::SweepCell>(grid.cells), sweep);
+    std::ostringstream csv;
+    crp::harness::write_sweep_csv(csv, results);
+    if (options.out.empty()) {
+      std::cout << csv.str();
+    } else {
+      write_file(options.out, csv.str());
+      std::cerr << "wrote " << results.size() << " cells to " << options.out
+                << "\n";
+    }
+    return 0;
+  }
+
+  if (options.out_dir.empty()) {
+    usage_error("sharded runs need --out-dir DIR for the artifact pair");
+  }
+  const auto run = crp::harness::run_sweep_shard(
+      std::span<const crp::harness::SweepCell>(grid.cells), options.shard,
+      sweep);
+  // Explicit --cells runs all share shard_index 0 of 1, so their
+  // artifacts are named by the cell range instead — successive
+  // hand-balanced slices into one directory must not overwrite each
+  // other.
+  const bool explicit_range =
+      options.shard.cell_begin != crp::harness::ShardOptions::kAutoRange;
+  const std::string stem =
+      explicit_range
+          ? "shard-cells-" + std::to_string(run.manifest.cell_begin) + "-" +
+                std::to_string(run.manifest.cell_end)
+          : "shard-" + std::to_string(run.manifest.shard_index) + "-of-" +
+                std::to_string(run.manifest.shard_count);
+  std::filesystem::create_directories(options.out_dir);
+  const std::filesystem::path dir(options.out_dir);
+
+  std::ostringstream csv;
+  crp::harness::write_sweep_csv(csv, run.results);
+  write_file(dir / (stem + ".csv"), csv.str());
+
+  crp::harness::ShardManifest manifest = run.manifest;
+  manifest.csv = stem + ".csv";
+  std::ostringstream manifest_json;
+  crp::harness::write_shard_manifest(manifest_json, manifest);
+  write_file(dir / (stem + ".manifest.json"), manifest_json.str());
+
+  std::cerr << "shard " << run.manifest.shard_index << "/"
+            << run.manifest.shard_count << ": cells ["
+            << run.manifest.cell_begin << ", " << run.manifest.cell_end
+            << ") of " << run.manifest.total_cells << " -> "
+            << (dir / (stem + ".csv")).string() << "\n";
+  return 0;
+}
+
+int merge_mode(const Options& options) {
+  std::vector<crp::harness::ShardArtifact> shards;
+  shards.reserve(options.manifests.size());
+  for (const std::string& manifest_path : options.manifests) {
+    std::ifstream manifest_in(manifest_path);
+    if (!manifest_in) {
+      throw std::runtime_error("cannot open manifest " + manifest_path);
+    }
+    crp::harness::ShardArtifact shard;
+    shard.manifest = crp::harness::read_shard_manifest(manifest_in);
+    if (shard.manifest.csv.empty()) {
+      throw std::runtime_error("manifest " + manifest_path +
+                               " names no CSV artifact");
+    }
+    const auto csv_path =
+        std::filesystem::path(manifest_path).parent_path() /
+        shard.manifest.csv;
+    std::ifstream csv_in(csv_path);
+    if (!csv_in) {
+      throw std::runtime_error("cannot open shard CSV " + csv_path.string() +
+                               " (named by " + manifest_path + ")");
+    }
+    shard.csv = crp::harness::read_shard_csv(csv_in);
+    shards.push_back(std::move(shard));
+  }
+  std::ostringstream merged;
+  crp::harness::merge_shard_csvs(
+      merged, std::span<const crp::harness::ShardArtifact>(shards));
+  write_file(options.out, merged.str());
+  std::cerr << "merged " << shards.size() << " shard(s) into " << options.out
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_args(argc, argv);
+  try {
+    return options.mode == "run" ? run_mode(options) : merge_mode(options);
+  } catch (const std::exception& error) {
+    std::cerr << "crp_shard: " << error.what() << "\n";
+    return 1;
+  }
+}
