@@ -1,0 +1,635 @@
+#include "harness/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "channel/history_engine.h"
+#include "channel/rng.h"
+#include "harness/csv.h"
+#include "harness/hash.h"
+
+namespace crp::harness {
+
+namespace {
+
+constexpr const char* kJournalMagic = "crp-checkpoint-journal-v1";
+constexpr const char* kRecordTag = "cell";
+/// Every framed block ends with newline, '.', newline: the completion
+/// marker a torn write cannot fake (truncation removes it, and a
+/// short write that stops inside it leaves a detectably-incomplete
+/// record).
+constexpr const char* kEndMarker = "\n.\n";
+
+std::string hex(std::uint64_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << value;
+  return out.str();
+}
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+/// write(2) until everything is out; EINTR retried, any other failure
+/// (including a kernel-reported short write on a full disk) throws.
+void write_all(int fd, std::string_view bytes, const std::string& what) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("cannot write " + what);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_or_throw(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) io_fail("cannot fsync " + what);
+}
+
+/// fsync on the directory entry, so the rename (or file creation)
+/// itself is durable — without this a power loss can forget the file
+/// existed even though its contents were flushed.
+void fsync_directory(const std::filesystem::path& dir) {
+  const std::string name = dir.empty() ? "." : dir.string();
+  const int fd = ::open(name.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) io_fail("cannot open directory " + name + " for fsync");
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    io_fail("cannot fsync directory " + name);
+  }
+  ::close(fd);
+}
+
+class FileCheckpointSink final : public CheckpointSink {
+ public:
+  explicit FileCheckpointSink(std::string path) : path_(std::move(path)) {
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd_ < 0) io_fail("cannot open checkpoint journal " + path_);
+  }
+  ~FileCheckpointSink() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FileCheckpointSink(const FileCheckpointSink&) = delete;
+  FileCheckpointSink& operator=(const FileCheckpointSink&) = delete;
+
+  void append(std::string_view bytes) override {
+    write_all(fd_, bytes, "checkpoint journal " + path_);
+  }
+  void sync() override { fsync_or_throw(fd_, "checkpoint journal " + path_); }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+std::uint64_t header_checksum(const ShardManifest& identity,
+                              const std::string& csv_header) {
+  Fnv1a h;
+  h.u64(identity.grid_hash);
+  h.u64(identity.master_seed);
+  h.u64(identity.trials);
+  h.u64(identity.total_cells);
+  h.u64(identity.cell_begin);
+  h.u64(identity.cell_end);
+  h.str(identity.engine);
+  h.str(identity.cd_engine);
+  h.str(csv_header);
+  return h.state;
+}
+
+std::uint64_t record_checksum(const CheckpointRecord& record) {
+  Fnv1a h;
+  h.u64(record.cell_index);
+  h.u64(record.cell_seed);
+  h.str(record.row);
+  return h.state;
+}
+
+/// Splits a complete journal line on single spaces (no field in the
+/// format may contain one; engine names are hyphenated).
+std::vector<std::string> split_fields(std::string_view line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const auto space = line.find(' ', start);
+    if (space == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      break;
+    }
+    fields.emplace_back(line.substr(start, space - start));
+    start = space + 1;
+  }
+  return fields;
+}
+
+std::optional<std::uint64_t> parse_hex_u64(const std::string& raw) {
+  if (raw.size() < 3 || raw.size() > 18 || raw[0] != '0' || raw[1] != 'x') {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = 2; i < raw.size(); ++i) {
+    const char c = raw[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return std::nullopt;
+    }
+    value = value * 16 + static_cast<std::uint64_t>(digit);
+  }
+  return value;
+}
+
+/// Journal parse state shared between the header and record loops.
+struct JournalParser {
+  const std::string& path;
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(std::size_t offset, const std::string& message) {
+    throw std::invalid_argument("checkpoint journal " + path + " at byte " +
+                                std::to_string(offset) + ": " + message);
+  }
+
+  /// The next complete line (without its newline), or nullopt when no
+  /// newline follows — the file ends mid-line.
+  std::optional<std::string_view> next_line() {
+    const auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) return std::nullopt;
+    std::string_view line(text.data() + pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  }
+
+  std::uint64_t field_uint(const std::string& field, std::size_t offset,
+                           const std::string& what) {
+    const auto value = parse_csv_unsigned(field);
+    if (!value) {
+      fail(offset, what + " must be a plain non-negative integer, got \"" +
+                       field + "\"");
+    }
+    return *value;
+  }
+
+  std::uint64_t field_hex(const std::string& field, std::size_t offset,
+                          const std::string& what) {
+    const auto value = parse_hex_u64(field);
+    if (!value) {
+      fail(offset, what + " must be an \"0x...\" hex value, got \"" + field +
+                       "\"");
+    }
+    return *value;
+  }
+
+  /// Consumes `length` payload bytes plus the end marker; nullopt when
+  /// the file ends first (a torn record — the caller decides whether
+  /// that position may legally be torn).
+  std::optional<std::string> payload(std::size_t offset, std::size_t length) {
+    // Overflow-safe: `length` may be a bit-flipped garbage value, so
+    // never compute pos + length directly.
+    const std::size_t marker_len = std::strlen(kEndMarker);
+    if (length > text.size() - pos ||
+        marker_len > text.size() - pos - length) {
+      return std::nullopt;  // the file ends inside payload or marker
+    }
+    if (text.compare(pos + length, marker_len, kEndMarker) != 0) {
+      fail(offset,
+           "end-of-record marker missing — the record is damaged, not torn "
+           "(bytes continue past where it should end)");
+    }
+    std::string out = text.substr(pos, length);
+    pos += length + std::strlen(kEndMarker);
+    return out;
+  }
+};
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      throw IoError("cannot create directory " +
+                    target.parent_path().string() + ": " + ec.message());
+    }
+  }
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) io_fail("cannot create " + tmp);
+  try {
+    write_all(fd, contents, tmp);
+    fsync_or_throw(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    io_fail("cannot close " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    io_fail("cannot rename " + tmp + " to " + path);
+  }
+  fsync_directory(target.parent_path());
+}
+
+std::unique_ptr<CheckpointSink> open_file_checkpoint_sink(
+    const std::string& path) {
+  return std::make_unique<FileCheckpointSink>(path);
+}
+
+std::string format_checkpoint_header(const ShardManifest& identity,
+                                     const std::string& csv_header) {
+  std::string out = kJournalMagic;
+  out += ' ';
+  out += hex(identity.grid_hash);
+  out += ' ';
+  out += hex(identity.master_seed);
+  out += ' ';
+  out += std::to_string(identity.trials);
+  out += ' ';
+  out += std::to_string(identity.total_cells);
+  out += ' ';
+  out += std::to_string(identity.cell_begin);
+  out += ' ';
+  out += std::to_string(identity.cell_end);
+  out += ' ';
+  out += identity.engine;
+  out += ' ';
+  out += identity.cd_engine;
+  out += ' ';
+  out += std::to_string(csv_header.size());
+  out += ' ';
+  out += hex(header_checksum(identity, csv_header));
+  out += '\n';
+  out += csv_header;
+  out += kEndMarker;
+  return out;
+}
+
+std::string format_checkpoint_record(const CheckpointRecord& record) {
+  std::string out = kRecordTag;
+  out += ' ';
+  out += std::to_string(record.cell_index);
+  out += ' ';
+  out += hex(record.cell_seed);
+  out += ' ';
+  out += std::to_string(record.row.size());
+  out += ' ';
+  out += hex(record_checksum(record));
+  out += '\n';
+  out += record.row;
+  out += kEndMarker;
+  return out;
+}
+
+CheckpointJournal read_checkpoint_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot open checkpoint journal " + path + ": " +
+                  std::strerror(errno));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw IoError("cannot read checkpoint journal " + path);
+  }
+  const std::string text = buffer.str();
+  JournalParser parser{path, text};
+  CheckpointJournal journal;
+
+  // ---- header block ----
+  // The header is created whole via atomic temp-file + rename before
+  // any record is appended, so unlike a record it is never legally
+  // torn: any damage here is corruption.
+  const auto header_line = parser.next_line();
+  if (!header_line) {
+    parser.fail(0, "incomplete header line (the header is written "
+                   "atomically — this file is damaged, not torn)");
+  }
+  const auto fields = split_fields(*header_line);
+  if (fields.size() != 11 || fields[0] != kJournalMagic) {
+    parser.fail(0, "not a " + std::string(kJournalMagic) + " header: \"" +
+                       std::string(*header_line) + "\"");
+  }
+  journal.grid_hash = parser.field_hex(fields[1], 0, "grid hash");
+  journal.master_seed = parser.field_hex(fields[2], 0, "master seed");
+  journal.trials = parser.field_uint(fields[3], 0, "trials");
+  journal.total_cells = parser.field_uint(fields[4], 0, "total cell count");
+  journal.cell_begin = parser.field_uint(fields[5], 0, "cell_begin");
+  journal.cell_end = parser.field_uint(fields[6], 0, "cell_end");
+  journal.engine = fields[7];
+  journal.cd_engine = fields[8];
+  const std::size_t header_len =
+      parser.field_uint(fields[9], 0, "header length");
+  const std::uint64_t header_crc = parser.field_hex(fields[10], 0, "checksum");
+  auto header_payload = parser.payload(0, header_len);
+  if (!header_payload) {
+    parser.fail(0, "truncated header block (the header is written "
+                   "atomically — this file is damaged, not torn)");
+  }
+  journal.csv_header = std::move(*header_payload);
+  if (journal.cell_begin > journal.cell_end ||
+      journal.cell_end > journal.total_cells) {
+    parser.fail(0, "cell range [" + std::to_string(journal.cell_begin) +
+                       ", " + std::to_string(journal.cell_end) +
+                       ") is not within [0, " +
+                       std::to_string(journal.total_cells) + ")");
+  }
+  {
+    ShardManifest identity;
+    identity.grid_hash = journal.grid_hash;
+    identity.master_seed = journal.master_seed;
+    identity.trials = journal.trials;
+    identity.total_cells = journal.total_cells;
+    identity.cell_begin = journal.cell_begin;
+    identity.cell_end = journal.cell_end;
+    identity.engine = journal.engine;
+    identity.cd_engine = journal.cd_engine;
+    if (header_checksum(identity, journal.csv_header) != header_crc) {
+      parser.fail(0, "header checksum mismatch — expected " +
+                         hex(header_crc) + ", computed " +
+                         hex(header_checksum(identity, journal.csv_header)));
+    }
+  }
+  journal.valid_bytes = parser.pos;
+
+  // ---- records ----
+  std::vector<bool> seen(journal.cell_end - journal.cell_begin, false);
+  while (parser.pos < text.size()) {
+    const std::size_t record_start = parser.pos;
+    const auto line = parser.next_line();
+    if (!line) break;  // torn: the file ends mid-line
+    const auto record_fields = split_fields(*line);
+    // A complete line (its newline made it to disk) with bad structure
+    // cannot come from a torn append — appends are sequential, so a
+    // crash only ever removes a suffix. Reject as corruption.
+    if (record_fields.size() != 5 || record_fields[0] != kRecordTag) {
+      parser.fail(record_start, "malformed record header \"" +
+                                    std::string(*line) + "\"");
+    }
+    CheckpointRecord record;
+    record.cell_index = parser.field_uint(record_fields[1], record_start,
+                                          "record cell index");
+    record.cell_seed =
+        parser.field_hex(record_fields[2], record_start, "record cell seed");
+    const std::size_t row_len =
+        parser.field_uint(record_fields[3], record_start, "record length");
+    const std::uint64_t crc =
+        parser.field_hex(record_fields[4], record_start, "record checksum");
+    auto row = parser.payload(record_start, row_len);
+    if (!row) {
+      parser.pos = record_start;  // torn: the payload never finished
+      break;
+    }
+    record.row = std::move(*row);
+    if (record_checksum(record) != crc) {
+      parser.fail(record_start,
+                  "record checksum mismatch for cell " +
+                      std::to_string(record.cell_index) + " — expected " +
+                      hex(crc) + ", computed " + hex(record_checksum(record)) +
+                      " (the record is corrupt, not torn)");
+    }
+    if (record.cell_index < journal.cell_begin ||
+        record.cell_index >= journal.cell_end) {
+      parser.fail(record_start,
+                  "record cell index " + std::to_string(record.cell_index) +
+                      " is outside the shard range [" +
+                      std::to_string(journal.cell_begin) + ", " +
+                      std::to_string(journal.cell_end) + ")");
+    }
+    if (seen[record.cell_index - journal.cell_begin]) {
+      parser.fail(record_start,
+                  "duplicate record for cell " +
+                      std::to_string(record.cell_index) +
+                      " — each cell must be journaled exactly once");
+    }
+    seen[record.cell_index - journal.cell_begin] = true;
+    journal.records.push_back(std::move(record));
+    journal.valid_bytes = parser.pos;
+  }
+  journal.torn_bytes = text.size() - journal.valid_bytes;
+  return journal;
+}
+
+namespace {
+
+/// Resume-time identity check: the journal must describe exactly the
+/// shard the caller is about to run.
+void validate_journal_against_plan(const CheckpointJournal& journal,
+                                   const std::string& path,
+                                   const ShardManifest& identity,
+                                   const std::string& csv_header) {
+  const auto fail = [&path](const std::string& message) {
+    throw std::invalid_argument("checkpoint resume " + path + ": " + message);
+  };
+  if (journal.grid_hash != identity.grid_hash) {
+    fail("grid fingerprint " + hex(journal.grid_hash) + " != " +
+         hex(identity.grid_hash) +
+         " — the journal was written for a different grid");
+  }
+  if (journal.master_seed != identity.master_seed) {
+    fail("master seed " + hex(journal.master_seed) + " != " +
+         hex(identity.master_seed) +
+         " — resume under the seed the journal was started with");
+  }
+  if (journal.trials != identity.trials) {
+    fail("trials " + std::to_string(journal.trials) + " != " +
+         std::to_string(identity.trials));
+  }
+  if (journal.engine != identity.engine ||
+      journal.cd_engine != identity.cd_engine) {
+    fail("engine configuration (" + journal.engine + ", " +
+         journal.cd_engine + ") != (" + identity.engine + ", " +
+         identity.cd_engine + ")");
+  }
+  if (journal.total_cells != identity.total_cells ||
+      journal.cell_begin != identity.cell_begin ||
+      journal.cell_end != identity.cell_end) {
+    fail("cell range [" + std::to_string(journal.cell_begin) + ", " +
+         std::to_string(journal.cell_end) + ") of " +
+         std::to_string(journal.total_cells) + " != planned [" +
+         std::to_string(identity.cell_begin) + ", " +
+         std::to_string(identity.cell_end) + ") of " +
+         std::to_string(identity.total_cells));
+  }
+  if (journal.csv_header != csv_header) {
+    fail("CSV header \"" + journal.csv_header +
+         "\" does not match this build's sweep CSV header \"" + csv_header +
+         "\"");
+  }
+}
+
+}  // namespace
+
+CheckpointRunResult run_sweep_shard_checkpointed(
+    std::span<const SweepCell> cells, const ShardOptions& shard_options,
+    const SweepOptions& sweep_options, const CheckpointRunOptions& options) {
+  if (options.journal_path.empty()) {
+    throw std::invalid_argument(
+        "checkpoint: CheckpointRunOptions::journal_path is required");
+  }
+  const std::string& path = options.journal_path;
+  ShardPlan plan = plan_shards(cells, shard_options);
+  const std::size_t range = plan.cell_end - plan.cell_begin;
+  const std::string csv_header = sweep_csv_header();
+
+  CheckpointRunResult result;
+  result.manifest = ShardManifest{.csv = {},
+                                  .engine = engine_name(sweep_options.engine),
+                                  .cd_engine =
+                                      engine_name(sweep_options.cd_engine),
+                                  .grid_hash = plan.grid_hash,
+                                  .master_seed = sweep_options.seed,
+                                  .trials = sweep_options.trials,
+                                  .total_cells = plan.total_cells,
+                                  .shard_index = plan.shard_index,
+                                  .shard_count = plan.shard_count,
+                                  .cell_begin = plan.cell_begin,
+                                  .cell_end = plan.cell_end,
+                                  .cell_seeds = {}};
+  result.manifest.cell_seeds.reserve(range);
+  for (std::size_t j = 0; j < range; ++j) {
+    result.manifest.cell_seeds.push_back(channel::derive_stream_seed(
+        sweep_options.seed, plan.cells[j].seed_stream));
+  }
+
+  std::vector<std::optional<std::string>> rows(range);
+  const bool exists = std::filesystem::exists(path);
+  if (options.resume) {
+    if (!exists) {
+      throw std::invalid_argument(
+          "checkpoint resume: journal " + path +
+          " does not exist — nothing to resume (run fresh instead)");
+    }
+    const CheckpointJournal journal = read_checkpoint_journal(path);
+    validate_journal_against_plan(journal, path, result.manifest, csv_header);
+    const std::size_t header_columns = split_csv_row(csv_header).size();
+    for (const CheckpointRecord& record : journal.records) {
+      const std::size_t j = record.cell_index - plan.cell_begin;
+      if (record.cell_seed != result.manifest.cell_seeds[j]) {
+        throw std::invalid_argument(
+            "checkpoint resume " + path + ": cell " +
+            std::to_string(record.cell_index) + " was journaled under seed " +
+            hex(record.cell_seed) + " but the plan derives " +
+            hex(result.manifest.cell_seeds[j]) +
+            " — the journal belongs to a different partition");
+      }
+      // Row cross-check: the journaled bytes must actually be one CSV
+      // row of this shard — right column count, cell_seed column equal
+      // to the record seed — so a writer bug cannot smuggle a foreign
+      // row through an otherwise-valid checksum.
+      const auto row_fields = split_csv_row(record.row);
+      if (row_fields.size() != header_columns) {
+        throw std::invalid_argument(
+            "checkpoint resume " + path + ": cell " +
+            std::to_string(record.cell_index) + " row has " +
+            std::to_string(row_fields.size()) + " columns, expected " +
+            std::to_string(header_columns));
+      }
+      const auto row_seed = parse_csv_unsigned(row_fields[4]);
+      if (!row_seed || *row_seed != record.cell_seed) {
+        throw std::invalid_argument(
+            "checkpoint resume " + path + ": cell " +
+            std::to_string(record.cell_index) +
+            " row carries cell_seed \"" + row_fields[4] +
+            "\" but the record was journaled under " +
+            hex(record.cell_seed));
+      }
+      rows[j] = record.row;
+      ++result.replayed_cells;
+    }
+    if (journal.torn_bytes > 0) {
+      std::error_code ec;
+      std::filesystem::resize_file(path, journal.valid_bytes, ec);
+      if (ec) {
+        throw IoError("cannot truncate torn tail of " + path + ": " +
+                      ec.message());
+      }
+    }
+  } else {
+    if (exists) {
+      throw std::invalid_argument(
+          "checkpoint: journal " + path +
+          " already exists — resume it or remove it before starting fresh");
+    }
+    atomic_write_file(path,
+                      format_checkpoint_header(result.manifest, csv_header));
+  }
+
+  std::unique_ptr<CheckpointSink> sink = options.sink_factory
+                                             ? options.sink_factory(path)
+                                             : open_file_checkpoint_sink(path);
+
+  // One history-tree cache across the per-cell run_sweep calls, so a
+  // checkpointed CD sweep expands each (policy, k, horizon) tree once,
+  // matching the monolithic run_sweep's amortization.
+  const channel::HistoryTreeCache tree_cache;
+  SweepOptions cell_options = sweep_options;
+  if (cell_options.cd_engine == CdEngine::kHistoryTree &&
+      cell_options.tree_cache == nullptr) {
+    cell_options.tree_cache = &tree_cache;
+  }
+
+  for (std::size_t j = 0; j < range; ++j) {
+    if (rows[j].has_value()) continue;
+    if (options.interrupted && options.interrupted()) break;
+    if (options.max_cells != 0 && result.executed_cells >= options.max_cells) {
+      break;
+    }
+    auto cell_results =
+        run_sweep(std::span<const SweepCell>(&plan.cells[j], 1), cell_options);
+    SweepResult cell_result = std::move(cell_results.front());
+    cell_result.cell_index = plan.cell_begin + j;
+    CheckpointRecord record{.cell_index = cell_result.cell_index,
+                            .cell_seed = cell_result.cell_seed,
+                            .row = sweep_csv_row(cell_result)};
+    // Append + fsync per cell: after this returns, a crash at any
+    // later byte boundary preserves this cell.
+    sink->append(format_checkpoint_record(record));
+    sink->sync();
+    rows[j] = std::move(record.row);
+    ++result.executed_cells;
+  }
+
+  for (const auto& row : rows) {
+    if (!row.has_value()) ++result.remaining_cells;
+  }
+  if (result.remaining_cells == 0) {
+    result.status = CheckpointRunStatus::kCompleted;
+    std::string csv = csv_header;
+    csv += '\n';
+    for (const auto& row : rows) {
+      csv += *row;
+      csv += '\n';
+    }
+    result.csv = std::move(csv);
+  } else {
+    result.status = CheckpointRunStatus::kInterrupted;
+  }
+  return result;
+}
+
+}  // namespace crp::harness

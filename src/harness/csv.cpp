@@ -195,27 +195,28 @@ std::vector<std::string> split_csv_row(const std::string& line) {
   return fields;
 }
 
+std::string csv_row_string(const std::vector<std::string>& cells) {
+  std::string row;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c > 0) row.push_back(',');
+    row += csv_quote(cells[c]);
+  }
+  return row;
+}
+
 CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
     : out_(out), columns_(header.size()) {
   if (header.empty()) {
     throw std::invalid_argument("CSV needs at least one column");
   }
-  for (std::size_t c = 0; c < header.size(); ++c) {
-    if (c > 0) out_ << ',';
-    out_ << csv_quote(header[c]);
-  }
-  out_ << '\n';
+  out_ << csv_row_string(header) << '\n';
 }
 
 void CsvWriter::row(const std::vector<std::string>& cells) {
   if (cells.size() != columns_) {
     throw std::invalid_argument("row width does not match header");
   }
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    if (c > 0) out_ << ',';
-    out_ << csv_quote(cells[c]);
-  }
-  out_ << '\n';
+  out_ << csv_row_string(cells) << '\n';
 }
 
 std::vector<std::string> CsvWriter::measurement_header() {

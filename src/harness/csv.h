@@ -59,6 +59,13 @@ std::string csv_quote(const std::string& field);
 /// garbage after a closing quote.
 std::vector<std::string> split_csv_row(const std::string& line);
 
+/// One serialized CSV row (no trailing newline): cells joined with
+/// commas, each through csv_quote. This is *the* row serialization —
+/// CsvWriter::row and the sweep/checkpoint layers all emit rows
+/// through it, so a row journaled per cell (harness/checkpoint.h) is
+/// byte-identical to the same row inside a full write_sweep_csv dump.
+std::string csv_row_string(const std::vector<std::string>& cells);
+
 /// A row-oriented CSV writer for sweep results. Cells are quoted with
 /// csv_quote on the way out, so algorithm/size-source names containing
 /// commas or quotes round-trip through split_csv_row instead of

@@ -1,0 +1,44 @@
+// Shared content-hashing primitive for the harness' durable formats:
+// the grid fingerprint (harness/shard.h) and the checkpoint journal's
+// per-record checksums (harness/checkpoint.h) both need a hash that is
+// stable across processes, machines, and architectures — artifacts
+// written on one host are validated on another.
+//
+/// Determinism: FNV-1a over an explicit little-endian byte
+/// serialization; no pointers, no host byte order, no padding bytes
+/// ever enter the state.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace crp::harness {
+
+/// FNV-1a 64-bit accumulator. Feed values through the typed helpers;
+/// `state` is the digest at any point.
+struct Fnv1a {
+  std::uint64_t state = 0xcbf29ce484222325ULL;
+
+  void byte(unsigned char b) {
+    state ^= b;
+    state *= 0x100000001b3ULL;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  /// Length-prefixed, so consecutive strings cannot alias ("ab","c"
+  /// vs "a","bc" hash apart).
+  void str(std::string_view s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+  }
+};
+
+}  // namespace crp::harness

@@ -17,34 +17,12 @@
 
 #include "channel/protocol.h"
 #include "harness/csv.h"
+#include "harness/hash.h"
 #include "info/distribution.h"
 
 namespace crp::harness {
 
 namespace {
-
-/// FNV-1a over an explicit little-endian byte serialization, so the
-/// fingerprint is stable across processes and architectures.
-struct Fnv1a {
-  std::uint64_t state = 0xcbf29ce484222325ULL;
-
-  void byte(unsigned char b) {
-    state ^= b;
-    state *= 0x100000001b3ULL;
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
-  }
-  void f64(double v) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof bits);
-    u64(bits);
-  }
-  void str(const std::string& s) {
-    u64(s.size());
-    for (const char c : s) byte(static_cast<unsigned char>(c));
-  }
-};
 
 std::string hex(std::uint64_t value) {
   std::ostringstream out;
@@ -59,9 +37,12 @@ std::string hex(std::uint64_t value) {
 /// Shared manifest-set validation for merge_shards/merge_shard_csvs:
 /// identical grid identity everywhere, internally consistent ranges,
 /// and ranges tiling [0, total_cells). Returns the shard indices in
-/// cell order.
+/// cell order. When `missing` is non-null the tiling requirement is
+/// relaxed: uncovered ranges are appended to it instead of thrown
+/// (the --allow-partial merge); overlaps always throw.
 std::vector<std::size_t> validated_cell_order(
-    const std::vector<const ShardManifest*>& manifests) {
+    const std::vector<const ShardManifest*>& manifests,
+    std::vector<MissingCellRange>* missing = nullptr) {
   if (manifests.empty()) merge_error("no shards given");
   const ShardManifest& ref = *manifests.front();
   for (std::size_t s = 0; s < manifests.size(); ++s) {
@@ -122,9 +103,12 @@ std::vector<std::size_t> validated_cell_order(
   for (const std::size_t s : order) {
     const ShardManifest& m = *manifests[s];
     if (m.cell_begin > expected) {
-      merge_error("gap: cells [" + std::to_string(expected) + ", " +
-                  std::to_string(m.cell_begin) +
-                  ") are covered by no shard — a shard is missing");
+      if (missing == nullptr) {
+        merge_error("gap: cells [" + std::to_string(expected) + ", " +
+                    std::to_string(m.cell_begin) +
+                    ") are covered by no shard — a shard is missing");
+      }
+      missing->push_back({expected, m.cell_begin});
     }
     if (m.cell_begin < expected) {
       merge_error("overlap: shard " + std::to_string(s) + " starts at cell " +
@@ -132,12 +116,15 @@ std::vector<std::size_t> validated_cell_order(
                   std::to_string(expected) +
                   " are already covered by another shard");
     }
-    expected = m.cell_end;
+    expected = std::max(expected, m.cell_end);
   }
   if (expected != ref.total_cells) {
-    merge_error("gap: cells [" + std::to_string(expected) + ", " +
-                std::to_string(ref.total_cells) +
-                ") are covered by no shard — a shard is missing");
+    if (missing == nullptr) {
+      merge_error("gap: cells [" + std::to_string(expected) + ", " +
+                  std::to_string(ref.total_cells) +
+                  ") are covered by no shard — a shard is missing");
+    }
+    missing->push_back({expected, ref.total_cells});
   }
   return order;
 }
@@ -297,8 +284,6 @@ ShardPlan plan_shards(const SweepGrid& grid, const ShardOptions& options) {
   return plan_shards(std::span<const SweepCell>(cells), options);
 }
 
-namespace {
-
 std::string engine_name(NoCdEngine engine) {
   switch (engine) {
     case NoCdEngine::kBinomial: return "binomial";
@@ -315,8 +300,6 @@ std::string engine_name(CdEngine engine) {
   }
   throw std::invalid_argument("unknown CdEngine");
 }
-
-}  // namespace
 
 ShardRun run_sweep_shard(std::span<const SweepCell> cells,
                          const ShardOptions& shard_options,
@@ -783,14 +766,12 @@ ShardCsv read_shard_csv(std::istream& in) {
   return csv;
 }
 
-void merge_shard_csvs(std::ostream& out,
-                      std::span<const ShardArtifact> shards) {
-  std::vector<const ShardManifest*> manifests;
-  manifests.reserve(shards.size());
-  for (const ShardArtifact& shard : shards) {
-    manifests.push_back(&shard.manifest);
-  }
-  const auto order = validated_cell_order(manifests);
+namespace {
+
+/// Per-shard CSV validation shared by the strict and gap-tolerant
+/// merges: header agreement, manifest-range row counts, and row-seed /
+/// manifest-seed agreement.
+void validate_shard_csvs(std::span<const ShardArtifact> shards) {
   const std::string& header = shards.front().csv.header;
   for (std::size_t s = 0; s < shards.size(); ++s) {
     const ShardManifest& m = shards[s].manifest;
@@ -815,12 +796,70 @@ void merge_shard_csvs(std::ostream& out,
       }
     }
   }
-  // Rows pass through verbatim: the merged file is byte-identical to
-  // the monolithic write_sweep_csv output.
-  out << header << '\n';
+}
+
+/// Row emission shared by both merges: one header, then every present
+/// row in cell order, verbatim.
+void write_merged_rows(std::ostream& out,
+                       std::span<const ShardArtifact> shards,
+                       const std::vector<std::size_t>& order) {
+  out << shards.front().csv.header << '\n';
   for (const std::size_t s : order) {
     for (const std::string& row : shards[s].csv.rows) out << row << '\n';
   }
+}
+
+}  // namespace
+
+void merge_shard_csvs(std::ostream& out,
+                      std::span<const ShardArtifact> shards) {
+  std::vector<const ShardManifest*> manifests;
+  manifests.reserve(shards.size());
+  for (const ShardArtifact& shard : shards) {
+    manifests.push_back(&shard.manifest);
+  }
+  const auto order = validated_cell_order(manifests);
+  validate_shard_csvs(shards);
+  // Rows pass through verbatim: the merged file is byte-identical to
+  // the monolithic write_sweep_csv output.
+  write_merged_rows(out, shards, order);
+}
+
+PartialMergeReport merge_shard_csvs_partial(
+    std::ostream& out, std::span<const ShardArtifact> shards) {
+  std::vector<const ShardManifest*> manifests;
+  manifests.reserve(shards.size());
+  for (const ShardArtifact& shard : shards) {
+    manifests.push_back(&shard.manifest);
+  }
+  PartialMergeReport report;
+  const auto order = validated_cell_order(manifests, &report.missing);
+  validate_shard_csvs(shards);
+  report.grid_hash = manifests.front()->grid_hash;
+  report.total_cells = manifests.front()->total_cells;
+  std::size_t missing_cells = 0;
+  for (const MissingCellRange& range : report.missing) {
+    missing_cells += range.end - range.begin;
+  }
+  report.present_cells = report.total_cells - missing_cells;
+  write_merged_rows(out, shards, order);
+  return report;
+}
+
+void write_partial_merge_report(std::ostream& out,
+                                const PartialMergeReport& report) {
+  out << "{\n"
+      << "  \"format\": \"crp-partial-merge-v1\",\n"
+      << "  \"grid_hash\": \"" << hex(report.grid_hash) << "\",\n"
+      << "  \"total_cells\": " << report.total_cells << ",\n"
+      << "  \"present_cells\": " << report.present_cells << ",\n"
+      << "  \"missing_ranges\": [";
+  for (std::size_t i = 0; i < report.missing.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << '[' << report.missing[i].begin << ", " << report.missing[i].end
+        << ']';
+  }
+  out << "]\n}\n";
 }
 
 }  // namespace crp::harness

@@ -129,6 +129,12 @@ struct ShardManifest {
   std::vector<std::uint64_t> cell_seeds;
 };
 
+/// Canonical serialized names of the engine enums, as recorded in
+/// shard manifests and checkpoint journal headers (harness/
+/// checkpoint.h) — the merge and resume validators compare these.
+std::string engine_name(NoCdEngine engine);
+std::string engine_name(CdEngine engine);
+
 /// One executed shard: manifest + results whose cell_index is the
 /// *global* grid index.
 struct ShardRun {
@@ -190,5 +196,38 @@ struct ShardArtifact {
 /// byte-identical to write_sweep_csv over the monolithic run.
 void merge_shard_csvs(std::ostream& out,
                       std::span<const ShardArtifact> shards);
+
+/// A contiguous run of grid cells no shard covered: [begin, end).
+struct MissingCellRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// What a gap-tolerant merge produced: the grid identity, how much of
+/// it is present, and exactly which cell ranges are missing — the
+/// work-list a scheduler feeds back as `crp_shard run --cells B:E`
+/// (or `resume`) invocations.
+struct PartialMergeReport {
+  std::uint64_t grid_hash = 0;
+  std::size_t total_cells = 0;
+  std::size_t present_cells = 0;
+  std::vector<MissingCellRange> missing;  ///< in cell order; empty = complete
+};
+
+/// merge_shard_csvs, but *gaps degrade gracefully*: cells covered by
+/// no shard are reported in the returned PartialMergeReport instead
+/// of failing the merge, and the present rows are still written in
+/// cell order. Every other validation is unchanged — mismatched grid
+/// identity, overlapping ranges, row/seed disagreements all still
+/// throw. The output CSV equals the monolithic CSV with the missing
+/// rows deleted (byte-wise, for the rows that are present).
+PartialMergeReport merge_shard_csvs_partial(
+    std::ostream& out, std::span<const ShardArtifact> shards);
+
+/// Serializes the report as the machine-readable
+/// crp-partial-merge-v1 JSON: grid hash (hex string), total/present
+/// cell counts, and the missing ranges as [begin, end) pairs.
+void write_partial_merge_report(std::ostream& out,
+                                const PartialMergeReport& report);
 
 }  // namespace crp::harness

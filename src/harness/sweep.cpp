@@ -119,7 +119,9 @@ std::vector<SweepResult> run_sweep(std::span<const SweepCell> cells,
   // amortization.
   const channel::HistoryTreeCache tree_cache;
   const channel::HistoryTreeCache* shared_trees =
-      options.cd_engine == CdEngine::kHistoryTree ? &tree_cache : nullptr;
+      options.cd_engine == CdEngine::kHistoryTree
+          ? (options.tree_cache != nullptr ? options.tree_cache : &tree_cache)
+          : nullptr;
   const auto execute = [&](std::size_t i) {
     const SweepCell& cell = cells[i];
     const std::uint64_t stream =
@@ -174,27 +176,33 @@ Table sweep_table(std::span<const SweepResult> results) {
   return table;
 }
 
-void write_sweep_csv(std::ostream& out,
-                     std::span<const SweepResult> results) {
+std::string sweep_csv_header() {
   auto header = CsvWriter::measurement_header();
   header.insert(header.begin(), {"algorithm", "sizes", "budget", "trials",
                                  "cell_seed"});
-  CsvWriter writer(out, std::move(header));
-  for (const auto& result : results) {
-    auto cells = CsvWriter::measurement_cells(result.measurement);
-    // cell_seed makes every row independently replayable: re-running
-    // the cell's measure_* call under this seed reproduces the row,
-    // which is what lets a driver shard a grid's cells across
-    // processes and merge the CSVs (tests/sweep_test.cpp round-trips
-    // this).
-    cells.insert(cells.begin(),
-                 {result.cell.algorithm.name,
-                  size_source_label(result.cell.sizes),
-                  std::to_string(result.cell.max_rounds),
-                  std::to_string(result.measurement.trials),
-                  std::to_string(result.cell_seed)});
-    writer.row(cells);
-  }
+  return csv_row_string(header);
+}
+
+std::string sweep_csv_row(const SweepResult& result) {
+  auto cells = CsvWriter::measurement_cells(result.measurement);
+  // cell_seed makes every row independently replayable: re-running
+  // the cell's measure_* call under this seed reproduces the row,
+  // which is what lets a driver shard a grid's cells across
+  // processes, checkpoint them cell by cell, and merge the CSVs
+  // (tests/sweep_test.cpp round-trips this).
+  cells.insert(cells.begin(),
+               {result.cell.algorithm.name,
+                size_source_label(result.cell.sizes),
+                std::to_string(result.cell.max_rounds),
+                std::to_string(result.measurement.trials),
+                std::to_string(result.cell_seed)});
+  return csv_row_string(cells);
+}
+
+void write_sweep_csv(std::ostream& out,
+                     std::span<const SweepResult> results) {
+  out << sweep_csv_header() << '\n';
+  for (const auto& result : results) out << sweep_csv_row(result) << '\n';
 }
 
 }  // namespace crp::harness

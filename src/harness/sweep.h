@@ -128,6 +128,14 @@ struct SweepOptions {
   NoCdEngine engine = NoCdEngine::kBatch;
   /// Engine for the uniform CD cells (no-CD cells ignore it).
   CdEngine cd_engine = CdEngine::kSimulate;
+  /// Optional caller-owned history-tree cache for the CD cells; null =
+  /// run_sweep builds its own per call. The checkpoint runner
+  /// (harness/checkpoint.h) executes cells one run_sweep call at a
+  /// time and threads one cache through them, so cells sharing a CD
+  /// policy still expand each (policy, k, horizon) tree once. Purely
+  /// an amortization: the expansion is deterministic, results are
+  /// bit-identical with or without sharing.
+  const channel::HistoryTreeCache* tree_cache = nullptr;
 };
 
 /// One executed cell.
@@ -160,5 +168,15 @@ Table sweep_table(std::span<const SweepResult> results);
 /// survive the round trip through split_csv_row.
 void write_sweep_csv(std::ostream& out,
                      std::span<const SweepResult> results);
+
+/// The pieces write_sweep_csv is made of, exposed for cell-granular
+/// serialization (harness/checkpoint.h journals one row per completed
+/// cell): the header line and one result's row, both without the
+/// trailing newline. write_sweep_csv output is exactly
+/// `sweep_csv_header() + '\n'` followed by `sweep_csv_row(r) + '\n'`
+/// per result — a journaled row replayed verbatim is byte-identical
+/// to the row a monolithic dump would have written.
+std::string sweep_csv_header();
+std::string sweep_csv_row(const SweepResult& result);
 
 }  // namespace crp::harness

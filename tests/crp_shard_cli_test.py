@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""crp_shard's documented exit-code taxonomy, asserted end to end.
+
+The codes are a stable contract for schedulers (see the header comment
+of tools/crp_shard.cpp): 0 success, 1 internal, 2 usage, 3 validation,
+4 I/O, 75 resumable interrupt. This test drives the real binary
+through run / interrupt / resume / merge cycles — including a SIGTERM
+mid-grid and deliberately corrupted artifacts — and checks both the
+codes and that corruption errors name the offending file.
+
+Usage: crp_shard_cli_test.py /path/to/crp_shard
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+CRP_SHARD = sys.argv[1]
+FAILURES = []
+
+
+def run(*args, **kwargs):
+    return subprocess.run(
+        [CRP_SHARD, *args], capture_output=True, text=True, **kwargs
+    )
+
+
+def check(label, proc, code, stderr_contains=()):
+    problems = []
+    if proc.returncode != code:
+        problems.append(f"exit {proc.returncode}, expected {code}")
+    for needle in stderr_contains:
+        if needle not in proc.stderr:
+            problems.append(f"stderr lacks {needle!r}")
+    if problems:
+        FAILURES.append(f"{label}: {'; '.join(problems)}\n"
+                        f"  stderr: {proc.stderr.strip()}")
+        print(f"FAIL {label}: {'; '.join(problems)}")
+    else:
+        print(f"ok   {label}")
+
+
+def flip_byte(path, offset):
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0x01]))
+
+
+GRID = ["--n", "4096", "--trials", "200", "--seed", "7"]
+
+with tempfile.TemporaryDirectory() as tmp:
+    mono = os.path.join(tmp, "mono.csv")
+    shards = os.path.join(tmp, "shards")
+    merged = os.path.join(tmp, "merged.csv")
+
+    # --- usage errors: exit 2 ---
+    check("unknown mode", run("frobnicate"), 2)
+    check("missing merge --out", run("merge", "x.json"), 2)
+    check("--shard with --cells",
+          run("run", "--shard", "0/2", "--cells", "0:4", "--out-dir", tmp), 2)
+    check("bad integer", run("run", "--trials", "-3"), 2)
+    check("resume without sharding", run("resume", *GRID), 2)
+
+    # --- success and resumable interrupt: exits 0 and 75 ---
+    check("monolithic run", run("run", *GRID, "--out", mono), 0)
+    check(
+        "interrupted shard (cell budget)",
+        run("run", *GRID, "--shard", "0/2", "--out-dir", shards,
+            "--stop-after-cells", "1"),
+        75,
+        stderr_contains=["resume"],
+    )
+    journal = os.path.join(shards, "shard-0-of-2.journal")
+    if not os.path.exists(journal):
+        FAILURES.append("interrupted shard left no journal")
+
+    # --- validation errors: exit 3 ---
+    check(
+        "run over an existing journal",
+        run("run", *GRID, "--shard", "0/2", "--out-dir", shards),
+        3,
+        stderr_contains=[journal],
+    )
+    check(
+        "resume with nothing to resume",
+        run("resume", *GRID, "--shard", "1/2", "--out-dir", shards),
+        3,
+        stderr_contains=["nothing to resume"],
+    )
+    check(
+        "resume under a different seed",
+        run("resume", "--n", "4096", "--trials", "200", "--seed", "8",
+            "--shard", "0/2", "--out-dir", shards),
+        3,
+        stderr_contains=["master seed"],
+    )
+
+    # --- the full resume-then-merge cycle reproduces the monolithic CSV ---
+    check("resume to completion",
+          run("resume", *GRID, "--shard", "0/2", "--out-dir", shards), 0)
+    check("second shard",
+          run("run", *GRID, "--shard", "1/2", "--out-dir", shards), 0)
+    manifests = [os.path.join(shards, f"shard-{i}-of-2.manifest.json")
+                 for i in range(2)]
+    check("merge", run("merge", "--out", merged, *manifests), 0)
+    with open(mono, "rb") as a, open(merged, "rb") as b:
+        if a.read() != b.read():
+            FAILURES.append("merged CSV differs from monolithic CSV")
+        else:
+            print("ok   resumed merge is byte-identical to monolithic")
+
+    # --- partial merge: gaps become a machine-readable report, exit 0 ---
+    partial = os.path.join(tmp, "partial.csv")
+    check("partial merge with a gap",
+          run("merge", "--out", partial, "--allow-partial", manifests[1]), 0)
+    with open(partial + ".partial.json") as handle:
+        report = handle.read()
+    if "crp-partial-merge-v1" not in report or "missing_ranges" not in report:
+        FAILURES.append(f"partial report malformed: {report}")
+    else:
+        print("ok   partial merge report is machine-readable")
+    check("strict merge still rejects the gap",
+          run("merge", "--out", partial, manifests[1]), 3,
+          stderr_contains=["gap"])
+
+    # --- on-disk corruption: exit 3, errors name the damaged file ---
+    csv_path = os.path.join(shards, "shard-0-of-2.csv")
+    with open(csv_path, "rb") as handle:
+        good_csv = handle.read()
+    with open(csv_path, "wb") as handle:
+        handle.write(good_csv[: len(good_csv) // 2])
+    check(
+        "merge with a truncated shard CSV",
+        run("merge", "--out", merged, *manifests),
+        3,
+        stderr_contains=[csv_path],
+    )
+    with open(csv_path, "wb") as handle:
+        handle.write(good_csv)
+    # Flip a byte inside the first JSON key: the strict manifest
+    # parser must reject it, and the CLI must prefix the file path.
+    flip_byte(manifests[0], 4)
+    check(
+        "merge with a bit-flipped manifest",
+        run("merge", "--out", merged, *manifests),
+        3,
+        stderr_contains=[manifests[0]],
+    )
+    flip_byte(manifests[0], 4)  # restore the manifest
+
+    # --- I/O errors: exit 4 ---
+    check(
+        "merge with a missing manifest",
+        run("merge", "--out", merged, os.path.join(tmp, "no-such.json")),
+        4,
+        stderr_contains=["no-such.json"],
+    )
+    os.remove(csv_path)
+    check(
+        "merge with a missing shard CSV",
+        run("merge", "--out", merged, manifests[0]),
+        4,
+        stderr_contains=[csv_path, manifests[0]],
+    )
+
+    # --- SIGTERM mid-grid: finish the cell, flush, exit 75 ---
+    sig_dir = os.path.join(tmp, "sigterm")
+    sig_journal = os.path.join(sig_dir, "shard-0-of-2.journal")
+    proc = subprocess.Popen(
+        [CRP_SHARD, "run", "--n", "65536", "--trials", "300000",
+         "--shard", "0/2", "--out-dir", sig_dir],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        try:
+            with open(sig_journal, "rb") as handle:
+                if b"\ncell " in b"\n" + handle.read():
+                    break
+        except FileNotFoundError:
+            pass
+        time.sleep(0.02)
+    proc.send_signal(signal.SIGTERM)
+    stderr = proc.communicate(timeout=120)[1]
+    if proc.returncode != 75:
+        FAILURES.append(f"SIGTERM run exited {proc.returncode}, expected 75\n"
+                        f"  stderr: {stderr.strip()}")
+    elif "resume" not in stderr:
+        FAILURES.append(f"SIGTERM stderr lacks resume hint: {stderr.strip()}")
+    else:
+        print("ok   SIGTERM stops cleanly with exit 75")
+    check("resume after SIGTERM",
+          run("resume", "--n", "65536", "--trials", "300000",
+              "--shard", "0/2", "--out-dir", sig_dir), 0)
+
+if FAILURES:
+    print(f"\n{len(FAILURES)} failure(s):")
+    for failure in FAILURES:
+        print(f"  {failure}")
+    sys.exit(1)
+print("\nall crp_shard CLI exit-code checks passed")

@@ -488,6 +488,89 @@ TEST(ShardMerge, CsvMergeRejectsTamperedArtifacts) {
   }
 }
 
+TEST(ShardMerge, PartialMergeReportsMissingRangesAndKeepsPresentRows) {
+  const Fixture f;
+  const auto cells = f.grid().cells();
+  const SweepOptions options{.trials = 150, .seed = 31, .threads = 1};
+  std::vector<ShardArtifact> artifacts;  // 3 shards of 2 cells each
+  for (std::size_t index = 0; index < 3; ++index) {
+    artifacts.push_back(artifact_of(run_sweep_shard(
+        cells, {.shard_count = 3, .shard_index = index}, options)));
+  }
+  std::ostringstream full;
+  merge_shard_csvs(full, artifacts);
+
+  {
+    // All present: the partial merge degenerates to the strict one.
+    std::ostringstream out;
+    const auto report = merge_shard_csvs_partial(out, artifacts);
+    EXPECT_EQ(out.str(), full.str());
+    EXPECT_EQ(report.total_cells, cells.size());
+    EXPECT_EQ(report.present_cells, cells.size());
+    EXPECT_TRUE(report.missing.empty());
+  }
+  {
+    // Drop the middle shard: one interior gap, and the output equals
+    // the full merge with exactly that shard's rows deleted.
+    const std::vector<ShardArtifact> gappy{artifacts[0], artifacts[2]};
+    std::ostringstream out;
+    const auto report = merge_shard_csvs_partial(out, gappy);
+    ASSERT_EQ(report.missing.size(), 1u);
+    EXPECT_EQ(report.missing[0].begin, artifacts[1].manifest.cell_begin);
+    EXPECT_EQ(report.missing[0].end, artifacts[1].manifest.cell_end);
+    EXPECT_EQ(report.present_cells, cells.size() - 2);
+    std::string expected = full.str();
+    for (const auto& row : artifacts[1].csv.rows) {
+      const auto at = expected.find(row + "\n");
+      ASSERT_NE(at, std::string::npos);
+      expected.erase(at, row.size() + 1);
+    }
+    EXPECT_EQ(out.str(), expected);
+  }
+  {
+    // Leading and trailing gaps are both reported.
+    const std::vector<ShardArtifact> middle_only{artifacts[1]};
+    std::ostringstream out;
+    const auto report = merge_shard_csvs_partial(out, middle_only);
+    ASSERT_EQ(report.missing.size(), 2u);
+    EXPECT_EQ(report.missing[0].begin, 0u);
+    EXPECT_EQ(report.missing[0].end, artifacts[1].manifest.cell_begin);
+    EXPECT_EQ(report.missing[1].begin, artifacts[1].manifest.cell_end);
+    EXPECT_EQ(report.missing[1].end, cells.size());
+    EXPECT_EQ(report.grid_hash, artifacts[1].manifest.grid_hash);
+  }
+  {
+    // Gaps are forgiven; overlaps and identity mismatches are not.
+    const std::vector<ShardArtifact> twice{artifacts[0], artifacts[0]};
+    std::ostringstream out;
+    expect_throws_with(
+        [&] { (void)merge_shard_csvs_partial(out, twice); }, "overlap");
+    auto broken = artifacts;
+    broken[1].manifest.master_seed ^= 1;
+    expect_throws_with(
+        [&] { (void)merge_shard_csvs_partial(out, broken); }, "master seed");
+  }
+}
+
+TEST(ShardMerge, PartialMergeReportSerializesAsMachineReadableJson) {
+  const PartialMergeReport report{.grid_hash = 0xabc123,
+                                  .total_cells = 10,
+                                  .present_cells = 6,
+                                  .missing = {{.begin = 2, .end = 4},
+                                              {.begin = 8, .end = 10}}};
+  std::ostringstream out;
+  write_partial_merge_report(out, report);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"format\": \"crp-partial-merge-v1\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"grid_hash\": \"0xabc123\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"total_cells\": 10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"present_cells\": 6"), std::string::npos) << json;
+  EXPECT_NE(json.find("[[2, 4], [8, 10]]"), std::string::npos) << json;
+}
+
 TEST(ShardCsvRead, ValidatesNumericColumnsAndToleratesQuotes) {
   // A quoted, comma-bearing algorithm name must parse, and the parsed
   // cell_seed must come out of the quoted row intact.

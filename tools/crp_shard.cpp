@@ -1,37 +1,69 @@
-// crp_shard: multi-process sweep shard driver and merge tool.
+// crp_shard: crash-safe multi-process sweep shard driver and merge
+// tool.
 //
-// Partitions a sweep grid's cells across processes and reassembles the
-// per-shard artifacts into exactly the CSV a single-process run would
-// have written — byte for byte (harness/shard.h is the library layer;
-// the CI shard-smoke step diffs the two outputs).
+// Partitions a sweep grid's cells across processes, journals progress
+// cell by cell so a killed worker can resume without losing completed
+// work, and reassembles the per-shard artifacts into exactly the CSV
+// a single-process run would have written — byte for byte
+// (harness/shard.h + harness/checkpoint.h are the library layers; the
+// CI shard-smoke and crash-resume steps diff the outputs).
 //
 // Usage:
-//   crp_shard run   [--grid table1] [--n N] [--trials T] [--seed S]
-//                   [--threads T] [--cd-engine simulate|tree]
-//                   [--shard I/N] [--cells B:E] [--out FILE]
-//                   [--out-dir DIR]
-//   crp_shard merge --out FILE MANIFEST.json...
+//   crp_shard run    [--grid table1] [--n N] [--trials T] [--seed S]
+//                    [--threads T] [--cd-engine simulate|tree]
+//                    [--shard I/N] [--cells B:E] [--out FILE]
+//                    [--out-dir DIR] [--stop-after-cells K]
+//   crp_shard resume (same flags as run; sharded only)
+//   crp_shard merge  --out FILE [--allow-partial] MANIFEST.json...
 //
 // run without --shard/--cells executes the whole grid in this process
 // and writes the sweep CSV to --out (default: stdout) — the reference
 // a sharded run must reproduce. With --shard i/N (or an explicit
-// --cells begin:end range) it executes only that slice and writes a
-// self-describing artifact pair into --out-dir:
+// --cells begin:end range) it executes only that slice, journaling
+// each completed cell durably (append + fsync) before starting the
+// next, and finishes by writing a self-describing artifact set into
+// --out-dir:
 //
+//   DIR/shard-<i>-of-<N>.journal        per-cell progress journal
 //   DIR/shard-<i>-of-<N>.csv            write_sweep_csv rows (slice only)
 //   DIR/shard-<i>-of-<N>.manifest.json  grid hash, master seed, trials,
 //                                       cell range, per-cell seeds
 //
+// All final artifacts are written via atomic temp-file + rename +
+// fsync: a crash or disk-full mid-write never leaves a half-written
+// file under a final name.
+//
+// resume picks up a killed or interrupted sharded run: it validates
+// the journal against the re-planned shard (grid fingerprint, master
+// seed, trials, engines, cell range, per-cell seeds), truncates a
+// detectably-torn tail left by a mid-write kill, replays the
+// journaled cells verbatim, and executes only the remainder. The
+// resumed artifacts are byte-identical to an uninterrupted run.
+//
 // merge validates the manifests against each other (same grid hash,
 // seed, and trials; cell ranges tile the grid with no gaps or
 // overlaps; per-row cell seeds match the manifests) and writes the
-// concatenated CSV in cell order. So
+// concatenated CSV in cell order. With --allow-partial, gaps degrade
+// gracefully: the present rows still merge in cell order and a
+// machine-readable FILE.partial.json records the missing cell ranges
+// (format crp-partial-merge-v1) — the work-list a scheduler feeds
+// back as `crp_shard run --cells B:E` invocations.
 //
-//   for i in 0 1 2; do crp_shard run --shard $i/3 --out-dir S ...; done
-//   crp_shard merge --out merged.csv S/*.manifest.json
+// Signals: on SIGINT/SIGTERM a sharded run finishes the in-flight
+// cell, flushes the journal, and exits with code 75 — external
+// schedulers can requeue a `resume` without parsing stderr.
+// --stop-after-cells K stops the same way after K freshly executed
+// cells (bounded work quanta).
 //
-// round-trips bit-identically to `crp_shard run --out single.csv ...`
-// with the same grid parameters — on one machine or three.
+// Exit codes (stable; asserted by tests/crp_shard_cli_test.py):
+//   0   success
+//   1   internal error (a bug — not retryable)
+//   2   usage error (bad flags)
+//   3   validation error (corrupt or mismatched inputs: manifests,
+//       journals, CSVs, grid mismatches — retry will not help)
+//   4   I/O error (open/write/fsync failures — retry may help)
+//   75  resumable interrupt (clean stop mid-grid; journal flushed,
+//       `crp_shard resume` continues — the scheduler requeue code)
 //
 // Grids:
 //   table1   the paper's Table 1 upper-bound grid: per entropy point
@@ -40,6 +72,7 @@
 //            schedule and the Section 2.6 coded-search CD policy, each
 //            against that point's lifted distribution. --n scales the
 //            network (and with it the number of entropy points).
+#include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -48,12 +81,30 @@
 #include <string>
 #include <vector>
 
+#include "harness/checkpoint.h"
 #include "harness/csv.h"
 #include "harness/grids.h"
 #include "harness/shard.h"
 #include "harness/sweep.h"
 
 namespace {
+
+// The documented exit-code taxonomy (see the header comment).
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitValidation = 3;
+constexpr int kExitIo = 4;
+constexpr int kExitResumable = 75;  // EX_TEMPFAIL: retryable by design
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void handle_stop_signal(int) { g_interrupted = 1; }
+
+void install_stop_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
 
 struct Options {
   std::string mode;
@@ -66,6 +117,8 @@ struct Options {
   bool sharded = false;
   bool shard_flag = false;
   bool cells_flag = false;
+  bool allow_partial = false;
+  std::size_t stop_after_cells = 0;
   crp::harness::ShardOptions shard;
   std::string out;
   std::string out_dir;
@@ -73,12 +126,18 @@ struct Options {
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
-  std::cerr << "crp_shard: " << message << "\n"
-            << "usage: crp_shard run [--grid table1] [--n N] [--trials T]"
-               " [--seed S] [--threads T] [--cd-engine simulate|tree]"
-               " [--shard I/N] [--cells B:E] [--out FILE] [--out-dir DIR]\n"
-               "       crp_shard merge --out FILE MANIFEST.json...\n";
-  std::exit(2);
+  std::cerr
+      << "crp_shard: " << message << "\n"
+      << "usage: crp_shard run    [--grid table1] [--n N] [--trials T]"
+         " [--seed S] [--threads T] [--cd-engine simulate|tree]"
+         " [--shard I/N] [--cells B:E] [--out FILE] [--out-dir DIR]"
+         " [--stop-after-cells K]\n"
+         "       crp_shard resume (same flags as run; sharded only)\n"
+         "       crp_shard merge  --out FILE [--allow-partial]"
+         " MANIFEST.json...\n"
+         "exit codes: 0 ok, 2 usage, 3 validation, 4 I/O,"
+         " 75 resumable interrupt\n";
+  std::exit(kExitUsage);
 }
 
 std::size_t parse_size(const std::string& value, const std::string& flag) {
@@ -94,9 +153,10 @@ std::size_t parse_size(const std::string& value, const std::string& flag) {
 
 Options parse_args(int argc, char** argv) {
   Options options;
-  if (argc < 2) usage_error("missing mode (run or merge)");
+  if (argc < 2) usage_error("missing mode (run, resume, or merge)");
   options.mode = argv[1];
-  if (options.mode != "run" && options.mode != "merge") {
+  if (options.mode != "run" && options.mode != "resume" &&
+      options.mode != "merge") {
     usage_error("unknown mode \"" + options.mode + "\"");
   }
   for (int i = 2; i < argc; ++i) {
@@ -117,6 +177,13 @@ Options parse_args(int argc, char** argv) {
       options.threads = parse_size(next(), arg);
     } else if (arg == "--cd-engine") {
       options.cd_engine = next();
+    } else if (arg == "--stop-after-cells") {
+      options.stop_after_cells = parse_size(next(), arg);
+      if (options.stop_after_cells == 0) {
+        usage_error("--stop-after-cells must be >= 1");
+      }
+    } else if (arg == "--allow-partial") {
+      options.allow_partial = true;
     } else if (arg == "--shard") {
       const std::string spec = next();
       const auto slash = spec.find('/');
@@ -147,15 +214,16 @@ Options parse_args(int argc, char** argv) {
       options.out_dir = next();
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "see the header comment of tools/crp_shard.cpp\n";
-      std::exit(0);
+      std::exit(kExitOk);
     } else if (!arg.empty() && arg[0] == '-') {
       usage_error("unknown argument " + arg);
     } else {
       options.manifests.push_back(arg);
     }
   }
-  if (options.mode == "run" && !options.manifests.empty()) {
-    usage_error("run mode takes no positional arguments");
+  const bool executes = options.mode == "run" || options.mode == "resume";
+  if (executes && !options.manifests.empty()) {
+    usage_error(options.mode + " mode takes no positional arguments");
   }
   if (options.mode == "merge" && options.manifests.empty()) {
     usage_error("merge mode needs at least one manifest path");
@@ -163,16 +231,27 @@ Options parse_args(int argc, char** argv) {
   if (options.mode == "merge" && options.out.empty()) {
     usage_error("merge mode needs --out FILE");
   }
+  if (options.allow_partial && options.mode != "merge") {
+    usage_error("--allow-partial applies to merge mode only");
+  }
   if (options.shard_flag && options.cells_flag) {
     // plan_shards would take the explicit-range branch and silently
     // record the unrelated --shard values in the manifest.
     usage_error("--shard and --cells are mutually exclusive");
   }
+  if (options.mode == "resume" && !options.sharded) {
+    usage_error("resume mode needs --shard I/N or --cells B:E (only "
+                "sharded runs are journaled)");
+  }
+  if (options.stop_after_cells != 0 && !options.sharded) {
+    usage_error("--stop-after-cells applies to sharded runs (they "
+                "checkpoint; a whole-grid run has no journal to resume)");
+  }
   if (options.sharded && !options.out.empty()) {
     usage_error("--out applies to whole-grid runs; sharded runs write "
-                "their artifact pair into --out-dir");
+                "their artifact set into --out-dir");
   }
-  if (options.n < 4) usage_error("--n must be >= 4");
+  if (executes && options.n < 4) usage_error("--n must be >= 4");
   return options;
 }
 
@@ -205,22 +284,6 @@ crp::harness::SweepOptions sweep_options(const Options& options) {
   return sweep;
 }
 
-void write_file(const std::filesystem::path& path,
-                const std::string& contents) {
-  if (path.has_parent_path()) {
-    std::filesystem::create_directories(path.parent_path());
-  }
-  std::ofstream out(path, std::ios::binary);
-  out << contents;
-  // Flush before the state check: a destructor-time flush failure
-  // (disk full) would otherwise go unreported and leave a truncated
-  // artifact behind a zero exit code.
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("cannot write " + path.string());
-  }
-}
-
 int run_mode(const Options& options) {
   if (options.grid != "table1") {
     usage_error("unknown grid \"" + options.grid + "\"");
@@ -237,19 +300,16 @@ int run_mode(const Options& options) {
     if (options.out.empty()) {
       std::cout << csv.str();
     } else {
-      write_file(options.out, csv.str());
+      crp::harness::atomic_write_file(options.out, csv.str());
       std::cerr << "wrote " << results.size() << " cells to " << options.out
                 << "\n";
     }
-    return 0;
+    return kExitOk;
   }
 
   if (options.out_dir.empty()) {
-    usage_error("sharded runs need --out-dir DIR for the artifact pair");
+    usage_error("sharded runs need --out-dir DIR for the artifact set");
   }
-  const auto run = crp::harness::run_sweep_shard(
-      std::span<const crp::harness::SweepCell>(grid.cells), options.shard,
-      sweep);
   // Explicit --cells runs all share shard_index 0 of 1, so their
   // artifacts are named by the cell range instead — successive
   // hand-balanced slices into one directory must not overwrite each
@@ -258,63 +318,116 @@ int run_mode(const Options& options) {
       options.shard.cell_begin != crp::harness::ShardOptions::kAutoRange;
   const std::string stem =
       explicit_range
-          ? "shard-cells-" + std::to_string(run.manifest.cell_begin) + "-" +
-                std::to_string(run.manifest.cell_end)
-          : "shard-" + std::to_string(run.manifest.shard_index) + "-of-" +
-                std::to_string(run.manifest.shard_count);
-  std::filesystem::create_directories(options.out_dir);
+          ? "shard-cells-" + std::to_string(options.shard.cell_begin) + "-" +
+                std::to_string(options.shard.cell_end)
+          : "shard-" + std::to_string(options.shard.shard_index) + "-of-" +
+                std::to_string(options.shard.shard_count);
   const std::filesystem::path dir(options.out_dir);
 
-  std::ostringstream csv;
-  crp::harness::write_sweep_csv(csv, run.results);
-  write_file(dir / (stem + ".csv"), csv.str());
+  crp::harness::CheckpointRunOptions checkpoint;
+  checkpoint.journal_path = (dir / (stem + ".journal")).string();
+  checkpoint.resume = options.mode == "resume";
+  checkpoint.interrupted = [] { return g_interrupted != 0; };
+  checkpoint.max_cells = options.stop_after_cells;
+  install_stop_handlers();
+
+  const auto run = crp::harness::run_sweep_shard_checkpointed(
+      std::span<const crp::harness::SweepCell>(grid.cells), options.shard,
+      sweep, checkpoint);
+
+  if (run.status == crp::harness::CheckpointRunStatus::kInterrupted) {
+    std::cerr << "crp_shard: stopped cleanly after cell "
+              << (run.replayed_cells + run.executed_cells) << "/"
+              << (run.manifest.cell_end - run.manifest.cell_begin)
+              << " of shard range [" << run.manifest.cell_begin << ", "
+              << run.manifest.cell_end << "); journal "
+              << checkpoint.journal_path
+              << " is durable — continue with `crp_shard resume` and the "
+                 "same flags\n";
+    return kExitResumable;
+  }
+
+  crp::harness::atomic_write_file((dir / (stem + ".csv")).string(), run.csv);
 
   crp::harness::ShardManifest manifest = run.manifest;
   manifest.csv = stem + ".csv";
   std::ostringstream manifest_json;
   crp::harness::write_shard_manifest(manifest_json, manifest);
-  write_file(dir / (stem + ".manifest.json"), manifest_json.str());
+  crp::harness::atomic_write_file((dir / (stem + ".manifest.json")).string(),
+                                  manifest_json.str());
 
   std::cerr << "shard " << run.manifest.shard_index << "/"
             << run.manifest.shard_count << ": cells ["
             << run.manifest.cell_begin << ", " << run.manifest.cell_end
-            << ") of " << run.manifest.total_cells << " -> "
+            << ") of " << run.manifest.total_cells << " ("
+            << run.replayed_cells << " replayed from journal, "
+            << run.executed_cells << " executed) -> "
             << (dir / (stem + ".csv")).string() << "\n";
-  return 0;
+  return kExitOk;
 }
 
 int merge_mode(const Options& options) {
-  std::vector<crp::harness::ShardArtifact> shards;
+  namespace ch = crp::harness;
+  std::vector<ch::ShardArtifact> shards;
   shards.reserve(options.manifests.size());
   for (const std::string& manifest_path : options.manifests) {
     std::ifstream manifest_in(manifest_path);
     if (!manifest_in) {
-      throw std::runtime_error("cannot open manifest " + manifest_path);
+      throw ch::IoError("cannot open manifest " + manifest_path);
     }
-    crp::harness::ShardArtifact shard;
-    shard.manifest = crp::harness::read_shard_manifest(manifest_in);
+    ch::ShardArtifact shard;
+    try {
+      shard.manifest = ch::read_shard_manifest(manifest_in);
+    } catch (const std::invalid_argument& error) {
+      // Corruption errors must name the file, not just the field.
+      throw std::invalid_argument(manifest_path + ": " + error.what());
+    }
     if (shard.manifest.csv.empty()) {
-      throw std::runtime_error("manifest " + manifest_path +
-                               " names no CSV artifact");
+      throw std::invalid_argument("manifest " + manifest_path +
+                                  " names no CSV artifact");
     }
     const auto csv_path =
         std::filesystem::path(manifest_path).parent_path() /
         shard.manifest.csv;
     std::ifstream csv_in(csv_path);
     if (!csv_in) {
-      throw std::runtime_error("cannot open shard CSV " + csv_path.string() +
-                               " (named by " + manifest_path + ")");
+      throw ch::IoError("cannot open shard CSV " + csv_path.string() +
+                        " (named by " + manifest_path + ")");
     }
-    shard.csv = crp::harness::read_shard_csv(csv_in);
+    try {
+      shard.csv = ch::read_shard_csv(csv_in);
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument(csv_path.string() + ": " + error.what());
+    }
     shards.push_back(std::move(shard));
   }
   std::ostringstream merged;
-  crp::harness::merge_shard_csvs(
-      merged, std::span<const crp::harness::ShardArtifact>(shards));
-  write_file(options.out, merged.str());
+  if (!options.allow_partial) {
+    ch::merge_shard_csvs(merged,
+                         std::span<const ch::ShardArtifact>(shards));
+    ch::atomic_write_file(options.out, merged.str());
+    std::cerr << "merged " << shards.size() << " shard(s) into "
+              << options.out << "\n";
+    return kExitOk;
+  }
+  const ch::PartialMergeReport report = ch::merge_shard_csvs_partial(
+      merged, std::span<const ch::ShardArtifact>(shards));
+  ch::atomic_write_file(options.out, merged.str());
+  std::ostringstream report_json;
+  ch::write_partial_merge_report(report_json, report);
+  const std::string report_path = options.out + ".partial.json";
+  ch::atomic_write_file(report_path, report_json.str());
   std::cerr << "merged " << shards.size() << " shard(s) into " << options.out
-            << "\n";
-  return 0;
+            << ": " << report.present_cells << "/" << report.total_cells
+            << " cells present";
+  if (!report.missing.empty()) {
+    std::cerr << ", missing";
+    for (const auto& range : report.missing) {
+      std::cerr << " [" << range.begin << ", " << range.end << ")";
+    }
+  }
+  std::cerr << " (see " << report_path << ")\n";
+  return kExitOk;
 }
 
 }  // namespace
@@ -322,9 +435,18 @@ int merge_mode(const Options& options) {
 int main(int argc, char** argv) {
   const Options options = parse_args(argc, argv);
   try {
-    return options.mode == "run" ? run_mode(options) : merge_mode(options);
+    return options.mode == "merge" ? merge_mode(options) : run_mode(options);
+  } catch (const crp::harness::IoError& error) {
+    std::cerr << "crp_shard: I/O error: " << error.what() << "\n";
+    return kExitIo;
+  } catch (const std::filesystem::filesystem_error& error) {
+    std::cerr << "crp_shard: I/O error: " << error.what() << "\n";
+    return kExitIo;
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "crp_shard: validation error: " << error.what() << "\n";
+    return kExitValidation;
   } catch (const std::exception& error) {
-    std::cerr << "crp_shard: " << error.what() << "\n";
-    return 1;
+    std::cerr << "crp_shard: internal error: " << error.what() << "\n";
+    return kExitInternal;
   }
 }
