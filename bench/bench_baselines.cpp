@@ -232,6 +232,7 @@ int main(int argc, char** argv) {
     print_aloha_comparison();
   }
   benchmark::Initialize(&argc, argv);
+  crp::bench::report_kernel_tier();
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

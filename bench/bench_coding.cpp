@@ -190,6 +190,7 @@ int main(int argc, char** argv) {
     print_backend_ablation();
   }
   benchmark::Initialize(&argc, argv);
+  crp::bench::report_kernel_tier();
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -221,6 +221,7 @@ int main(int argc, char** argv) {
     print_learned_predictor();
   }
   benchmark::Initialize(&argc, argv);
+  crp::bench::report_kernel_tier();
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -177,6 +177,7 @@ int main(int argc, char** argv) {
     print_exact_adversary();
   }
   benchmark::Initialize(&argc, argv);
+  crp::bench::report_kernel_tier();
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

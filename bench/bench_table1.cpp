@@ -362,6 +362,7 @@ int main(int argc, char** argv) {
     print_pliam_conjecture();
   }
   benchmark::Initialize(&argc, argv);
+  crp::bench::report_kernel_tier();
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

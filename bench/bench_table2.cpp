@@ -288,6 +288,7 @@ int main(int argc, char** argv) {
     print_faulty_advice();
   }
   benchmark::Initialize(&argc, argv);
+  crp::bench::report_kernel_tier();
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -11,9 +11,21 @@
 #include <sys/resource.h>
 #endif
 
+#include <benchmark/benchmark.h>
+
+#include "channel/kernels/kernels.h"
 #include "harness/measure.h"
 
 namespace crp::bench {
+
+/// Records the dispatched kernel ISA tier in the benchmark context
+/// (JSON `context.crp_kernel_tier` and the console header), so a
+/// committed baseline always says which (bit-compatible) kernels
+/// produced its numbers. Call after benchmark::Initialize.
+inline void report_kernel_tier() {
+  benchmark::AddCustomContext("crp_kernel_tier",
+                              crp::channel::kernel_tier_name());
+}
 
 /// Strips --skip-tables from argv and returns true when the
 /// reproduction tables should print (i.e. the flag was absent).

@@ -5,20 +5,47 @@
 # reproduction tables plus human-readable timings) is teed to
 # BENCH_<name>.log in the same directory.
 #
-# Usage: bench/run_benches.sh [--quick] [BUILD_DIR] [OUT_DIR]
+# Usage: bench/run_benches.sh [--quick] [--allow-non-release] \
+#                              [BUILD_DIR] [OUT_DIR]
 #   --quick    skip the reproduction tables and shorten benchmark
 #              repetitions (CI smoke mode)
+#   --allow-non-release
+#              record numbers from a non-Release build anyway (smoke
+#              runs where timings are not kept); committed baselines
+#              must come from a Release build
 #   BUILD_DIR  defaults to build
 #   OUT_DIR    defaults to bench/results
 set -euo pipefail
 
 quick=0
-if [[ "${1:-}" == "--quick" ]]; then
-  quick=1
+allow_non_release=0
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --quick) quick=1 ;;
+    --allow-non-release) allow_non_release=1 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
   shift
-fi
+done
 build_dir=${1:-build}
 out_dir=${2:-bench/results}
+
+# Baselines from unoptimized builds are worthless for trend tracking
+# (and once burned us: committed JSONs carried debug-build timings).
+# The guard reads the build tree's own cache, not the benchmark
+# library's build flavor that the JSON "library_build_type" reports.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "$build_dir/CMakeCache.txt" 2>/dev/null || true)
+if [[ "$build_type" != "Release" ]]; then
+  msg="$build_dir is a '${build_type:-unknown}' build, not Release"
+  if [[ $allow_non_release -eq 1 ]]; then
+    echo "warning: $msg; timings are not baseline-grade" >&2
+  else
+    echo "error: $msg; rebuild with -DCMAKE_BUILD_TYPE=Release or pass" \
+         "--allow-non-release for a throwaway run" >&2
+    exit 1
+  fi
+fi
 mkdir -p "$out_dir"
 
 extra=()
@@ -46,6 +73,11 @@ for name in table1 table2 baselines divergence profiles coding; do
 import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
+# Which ISA tier the runtime dispatch picked (tiers are bit-identical;
+# this is provenance for the timings, not for the statistics).
+tier = data.get("context", {}).get("crp_kernel_tier")
+if tier:
+    print(f"  kernel tier: {tier}")
 for bench in data.get("benchmarks", []):
     if "peak_rss_mb" in bench:
         print(f"  peak RSS: {bench['name']}: {bench['peak_rss_mb']:.1f} MB")

@@ -130,41 +130,17 @@ std::size_t BatchNoCdSampler::solve_round(std::size_t k, double u,
   return search(*snapshot(k, target, max_rounds), target, max_rounds);
 }
 
+double BatchNoCdSampler::target_for(double u) {
+  return kernels::log1p_neg(-u);
+}
+
 std::size_t BatchNoCdSampler::search(const SolveTable& table, double target,
                                      std::size_t max_rounds) const {
-  const auto& ls = table.log_survival;
-  const std::size_t span = ls.size() - 1;  // rounds covered by the table
-
-  std::size_t round = 0;  // 1-based; 0 = past the round budget
-  if (period_ > 0) {
-    const double per_period = ls.back();
-    if (per_period < 0.0) {
-      // A sure-success round inside the period (per_period = -inf)
-      // means every draw solves within the first period. Otherwise
-      // whole periods are skipped analytically and the residual target
-      // located within one period by the branchless probe. (The -inf
-      // case must not enter the arithmetic: 0 * -inf is NaN.)
-      const bool certain = std::isinf(per_period);
-      double skipped = certain ? 0.0 : std::floor(target / per_period);
-      while (round == 0) {
-        if (skipped * static_cast<double>(span) >=
-            static_cast<double>(max_rounds)) {
-          break;  // provably past the budget; avoid overflowing below
-        }
-        const double residual =
-            certain ? target : target - skipped * per_period;
-        const std::size_t first = probe_first_below(table, residual);
-        if (first < ls.size()) {
-          round = static_cast<std::size_t>(skipped) * span + first;
-        } else {
-          skipped += 1.0;  // floating-point rounding at a period edge
-        }
-      }
-    }
-  } else if (ls.back() < target) {
-    round = probe_first_below(table, target);
-  }
-  return round > max_rounds ? 0 : round;
+  // The full search (periodic skip + residual probe + budget clamp)
+  // lives in the kernel layer as search_one — the scalar reference the
+  // lane kernels are pinned against — so the per-trial sample() paths
+  // and the columnar probe_rounds pass share one implementation.
+  return kernels::search_one(probe_view(table, max_rounds), target);
 }
 
 RunResult BatchNoCdSampler::sample(std::size_t k, std::mt19937_64& rng,

@@ -51,6 +51,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "channel/kernels/kernels.h"
 #include "channel/protocol.h"
 #include "channel/rng.h"
 #include "channel/simulator.h"
@@ -147,17 +148,31 @@ class BatchNoCdSampler {
     // A hand-assembled table that skipped finalize_probe_table would
     // otherwise return round 1 for every target, silently.
     assert(table.padded.size() >= table.log_survival.size());
-    const std::vector<double>& padded = table.padded;
-    std::size_t pos = 0;
-    for (std::size_t step = padded.size() >> 1; step > 0; step >>= 1) {
-      pos += step * static_cast<std::size_t>(padded[pos + step] >= target);
-    }
-    const std::size_t first_below = pos + 1;
-    return std::min(first_below, table.log_survival.size());
+    return kernels::probe_first_below_padded(table.padded.data(),
+                                             table.padded.size(),
+                                             table.log_survival.size(), target);
   }
 
   /// The log-survival target log(1 - u) a uniform draw has to reach.
-  static double target_for(double u) { return std::log1p(-u); }
+  /// Evaluated by the kernel layer's own log1p (kernels::log1p_neg) —
+  /// within 1 ulp of libm but vectorizable and bit-stable across libc
+  /// versions — so the scalar sample() paths and the lane kernels
+  /// provably agree draw for draw.
+  static double target_for(double u);
+
+  /// The kernel-layer view of a snapshot: the borrowed ProbeTable the
+  /// lane probe (kernels::Ops::probe_rounds) descends. Valid while the
+  /// snapshot lives.
+  kernels::ProbeTable probe_view(const SolveTable& table,
+                                 std::size_t max_rounds) const {
+    return {table.padded.data(), table.padded.size(),
+            table.log_survival.size(), period_ > 0,
+            table.log_survival.back(), max_rounds};
+  }
+
+  /// The schedule's cycle length (0 = aperiodic) — mirrors
+  /// ProbabilitySchedule::period(), cached at construction.
+  std::size_t period() const { return period_; }
 
   /// Fetches (building or extending under the shared lock if needed)
   /// the table snapshot serving (k, target) within `max_rounds`.

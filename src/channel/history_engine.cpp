@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "channel/kernels/kernels.h"
 #include "channel/rng.h"
 #include "harness/exact.h"
 #include "info/distribution.h"
@@ -80,6 +81,7 @@ void HistoryTreeEngine::run_many(TrialBlock& block) const {
   validate_trial_block(block);
   const std::size_t count = block.size();
   const info::SizeDistribution* dist = block.sizes.distribution;
+  const kernels::Ops& kops = kernels::ops();
 
   // One (tree, mode) fetch per distinct participant count per block —
   // the same snapshot discipline as the no-CD batch engine.
@@ -98,40 +100,76 @@ void HistoryTreeEngine::run_many(TrialBlock& block) const {
   std::span<const double> cum;
   if (dist != nullptr) cum = dist->support_cumulative();
 
+  // Pass 1: the lane kernel derives every trial's first draw at once —
+  // the participant-count draw when sizes are drawn — and the slots it
+  // selects decide which (tree, mode) entries the block needs. The
+  // solve-draw column is only materialized when some slot actually
+  // answers by inverse CDF; walk/simulate trials have a variable draw
+  // count and re-derive their stream scalar below, so for them the
+  // columns would be pure overhead.
+  std::vector<std::uint32_t> slot_of;
+  std::vector<double> uk;
+  if (dist != nullptr) {
+    uk.resize(count);
+    kops.pass1_uniform(block.seed, block.first_trial, count, uk.data());
+    slot_of.resize(count);
+    for (std::size_t t = 0; t < count; ++t) {
+      slot_of[t] = static_cast<std::uint32_t>(
+          std::lower_bound(cum.begin(), cum.end(), uk[t]) - cum.begin());
+      Entry& entry = slots[slot_of[t]];
+      if (entry.first == nullptr) {
+        entry = tree_for(slot_k[slot_of[t]], block.max_rounds);
+      }
+    }
+  } else if (count > 0) {
+    slots[0] = tree_for(slot_k[0], block.max_rounds);
+  }
+  bool any_cdf = false;
+  for (const Entry& entry : slots) {
+    any_cdf |= entry.first != nullptr && entry.second == Mode::kInverseCdf;
+  }
+
+  // The solve-draw column (the second draw of each stream; the first
+  // for fixed-k blocks) — bit for bit the unit(rng) value the scalar
+  // loop would have drawn. uk is recomputed by the pair kernel, to the
+  // identical values.
+  std::vector<double> u;
+  if (any_cdf) {
+    u.resize(count);
+    if (dist != nullptr) {
+      kops.pass1_uniform_pair(block.seed, block.first_trial, count, uk.data(),
+                              u.data());
+    } else {
+      kops.pass1_uniform(block.seed, block.first_trial, count, u.data());
+    }
+  }
+
+  // Inverse-CDF trials, grouped per slot for the lane probe.
+  std::vector<std::vector<std::uint32_t>> cdf_groups(slots.size());
+
   BitString path;  // scratch history for the walk / simulation modes
   path.reserve(64);
   for (std::size_t t = 0; t < count; ++t) {
-    SplitMix64 rng = derive_fast_rng(block.seed, block.first_trial + t);
-    std::uniform_real_distribution<double> unit(0.0, 1.0);
-
-    // Draw order matches BatchColumnarEngine: the participant count
-    // (when drawn) comes first, from the same per-trial stream.
-    std::size_t slot = 0;
-    if (dist != nullptr) {
-      const double uk = unit(rng);
-      slot = static_cast<std::size_t>(
-          std::lower_bound(cum.begin(), cum.end(), uk) - cum.begin());
-    }
-    Entry& entry = slots[slot];
-    if (entry.first == nullptr) {
-      entry = tree_for(slot_k[slot], block.max_rounds);
-    }
+    const std::size_t slot = dist != nullptr ? slot_of[t] : 0;
+    const Entry& entry = slots[slot];
     const harness::HistoryTree& tree = *entry.first;
     const std::size_t k = slot_k[slot];
 
+    if (entry.second == Mode::kInverseCdf) {
+      cdf_groups[slot].push_back(static_cast<std::uint32_t>(t));
+      continue;
+    }
+
+    // Walk / simulate: variable draw count — re-derive the per-trial
+    // stream and discard the size draw the uk column already holds.
+    SplitMix64 rng = derive_fast_rng(block.seed, block.first_trial + t);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    if (dist != nullptr) (void)unit(rng);
+
     std::size_t round = 0;  // 1-based solve round; 0 = unsolved
     switch (entry.second) {
-      case Mode::kInverseCdf: {
-        const double u = unit(rng);
-        if (u < tree.solved_mass()) {
-          round = static_cast<std::size_t>(
-                      std::upper_bound(tree.solve_cdf.begin(),
-                                       tree.solve_cdf.end(), u) -
-                      tree.solve_cdf.begin()) +
-                  1;
-        }
-        break;
-      }
+      case Mode::kInverseCdf:
+        break;  // handled above
       case Mode::kWalk: {
         path.clear();
         std::int64_t node = tree.nodes.empty()
@@ -165,6 +203,52 @@ void HistoryTreeEngine::run_many(TrialBlock& block) const {
     }
     block.solved[t] = round != 0 ? 1 : 0;
     block.rounds[t] = round != 0 ? round : block.max_rounds;
+  }
+
+  // Pass 2: answer each slot's inverse-CDF trials with the lane
+  // upper-bound probe over the tree's padded CDF — bit-identical to
+  // the scalar std::upper_bound it replaces (ties included; pinned by
+  // tests/kernel_test.cpp). The solved-mass gate stays outside the
+  // kernel: u >= solved_mass means the budget ran out unsolved.
+  std::vector<double> group_u;
+  std::vector<std::uint64_t> group_idx;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    const auto& group = cdf_groups[s];
+    if (group.empty()) continue;
+    const harness::HistoryTree& tree = *slots[s].first;
+    const double solved_mass = tree.solved_mass();
+    if (tree.padded_solve_cdf.empty()) {
+      // Hand-assembled tree without the padded table: scalar fallback.
+      for (const std::uint32_t t : group) {
+        std::size_t round = 0;
+        if (u[t] < solved_mass) {
+          round = static_cast<std::size_t>(
+                      std::upper_bound(tree.solve_cdf.begin(),
+                                       tree.solve_cdf.end(), u[t]) -
+                      tree.solve_cdf.begin()) +
+                  1;
+        }
+        block.solved[t] = round != 0 ? 1 : 0;
+        block.rounds[t] = round != 0 ? round : block.max_rounds;
+      }
+      continue;
+    }
+    const kernels::CdfTable table{tree.padded_solve_cdf.data(),
+                                  tree.padded_solve_cdf.size(),
+                                  tree.solve_cdf.size()};
+    group_u.resize(group.size());
+    group_idx.resize(group.size());
+    for (std::size_t j = 0; j < group.size(); ++j) group_u[j] = u[group[j]];
+    kops.probe_cdf(table, group_u.data(), group.size(), group_idx.data());
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      const std::uint32_t t = group[j];
+      const std::size_t round =
+          group_u[j] < solved_mass
+              ? static_cast<std::size_t>(group_idx[j]) + 1
+              : 0;
+      block.solved[t] = round != 0 ? 1 : 0;
+      block.rounds[t] = round != 0 ? round : block.max_rounds;
+    }
   }
 
   // Like the no-CD analytic engine, the sampler does not reconstruct

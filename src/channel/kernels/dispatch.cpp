@@ -1,0 +1,150 @@
+// Runtime ISA dispatch for the batch kernels: probe cpuid once, honor
+// the CRP_KERNEL_TIER cap, and hand the engines a function-pointer
+// table. Selection is an audit fact, not a correctness parameter —
+// every tier is bit-identical (kernels.h) — so the only policy here is
+// "widest available unless capped".
+
+#include "channel/kernels/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace crp::channel::kernels {
+
+namespace detail {
+
+// Per-backend TU entry points. The avx* symbols exist whenever the
+// x86 backends are compiled in; whether they are *callable* on this
+// host is what ops_for() answers.
+const Ops& scalar_ops();
+#ifdef CRP_X86_KERNELS
+const Ops& avx2_ops();
+const Ops& avx512_ops();
+#endif
+
+}  // namespace detail
+
+namespace {
+
+bool host_supports(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+#ifdef CRP_X86_KERNELS
+    case Tier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Tier::kAvx512:
+      // F covers the gathers and mask registers; DQ the 64-bit
+      // multiply and uint64<->double conversions the pass-1 and probe
+      // kernels lean on. __builtin_cpu_supports also verifies the OS
+      // saves the zmm state (XCR0), so this is safe under hypervisors
+      // that mask AVX-512.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0;
+#endif
+    default:
+      return false;
+  }
+}
+
+struct Selection {
+  const Ops* ops;
+  Tier tier;
+};
+
+Selection resolve() {
+  Tier best = Tier::kScalar;
+  if (host_supports(Tier::kAvx2)) best = Tier::kAvx2;
+  if (host_supports(Tier::kAvx512)) best = Tier::kAvx512;
+
+  if (const char* env = std::getenv("CRP_KERNEL_TIER")) {
+    Tier requested = best;
+    bool known = true;
+    if (std::strcmp(env, "scalar") == 0) {
+      requested = Tier::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      requested = Tier::kAvx2;
+    } else if (std::strcmp(env, "avx512") == 0) {
+      requested = Tier::kAvx512;
+    } else {
+      known = false;
+      std::fprintf(stderr,
+                   "crp: ignoring unknown CRP_KERNEL_TIER=%s "
+                   "(expected scalar|avx2|avx512)\n",
+                   env);
+    }
+    if (known) {
+      if (requested <= best) {
+        best = requested;  // a cap is always honored
+      } else {
+        // Requests above the host's capability fall back (the fleet
+        // driver can export one value for heterogeneous hosts), but
+        // say so: tier expectations are an auditing tool.
+        std::fprintf(stderr,
+                     "crp: CRP_KERNEL_TIER=%s unavailable on this host; "
+                     "using %s\n",
+                     env, tier_name(best));
+      }
+    }
+  }
+  return {ops_for(best), best};
+}
+
+Selection& selection() {
+  static Selection chosen = resolve();
+  return chosen;
+}
+
+}  // namespace
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+const Ops* ops_for(Tier tier) {
+  if (!host_supports(tier)) return nullptr;
+  switch (tier) {
+    case Tier::kScalar:
+      return &detail::scalar_ops();
+#ifdef CRP_X86_KERNELS
+    case Tier::kAvx2:
+      return &detail::avx2_ops();
+    case Tier::kAvx512:
+      return &detail::avx512_ops();
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+const Ops& ops() { return *selection().ops; }
+
+Tier tier() { return selection().tier; }
+
+bool force_tier(Tier tier) {
+  const Ops* forced = ops_for(tier);
+  if (forced == nullptr) return false;
+  selection() = {forced, tier};
+  return true;
+}
+
+}  // namespace crp::channel::kernels
+
+namespace crp::channel {
+
+kernels::Tier kernel_tier() { return kernels::tier(); }
+
+const char* kernel_tier_name() {
+  return kernels::tier_name(kernels::tier());
+}
+
+}  // namespace crp::channel

@@ -60,6 +60,20 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// The canonical [0, 1) uniform the batch paths build from one 64-bit
+/// draw: bit-identical to std::uniform_real_distribution<double>(0, 1)
+/// over a full-range 64-bit engine under libstdc++ (whose
+/// generate_canonical computes double(bits) * 2^-64 and clamps the
+/// rounded-up 1.0 back into range). Spelled out here so the lane
+/// kernels (channel/kernels/) and the scalar engines provably share
+/// one conversion — the per-trial draw sequence is part of the
+/// bit-determinism contract and must not drift with the standard
+/// library's implementation.
+inline double canonical_unit(std::uint64_t bits) {
+  const double u = static_cast<double>(bits) * 0x1p-64;
+  return u >= 1.0 ? 0x1.fffffffffffffp-1 : u;
+}
+
 /// Counterpart of derive_rng for the lightweight engine: independent,
 /// replayable stream per (seed, stream) pair. The stream index is
 /// mixed through the splitmix64 finalizer before seeding — seeding

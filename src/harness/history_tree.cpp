@@ -1,6 +1,9 @@
 #include "harness/history_tree.h"
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
+#include <limits>
 #include <utility>
 
 #include "harness/exact.h"
@@ -206,6 +209,11 @@ HistoryTree expand_history_tree(const channel::CollisionPolicy& policy,
     cumulative += tree.solve_at[r];
     tree.solve_cdf[r] = cumulative;
   }
+  tree.padded_solve_cdf.assign(std::bit_ceil(options.horizon + 1),
+                               std::numeric_limits<double>::infinity());
+  tree.padded_solve_cdf[0] = 0.0;  // sentinel <= every u in [0, 1)
+  std::copy(tree.solve_cdf.begin(), tree.solve_cdf.end(),
+            tree.padded_solve_cdf.begin() + 1);
   return tree;
 }
 

@@ -97,6 +97,12 @@ struct HistoryTree {
   /// Prefix sums of solve_at: solve_cdf[r] = Pr(solved within r + 1
   /// rounds); size horizon. The inverse-CDF sampling table.
   std::vector<double> solve_cdf;
+  /// solve_cdf prepared for the lane upper-bound probe
+  /// (channel/kernels): a 0.0 sentinel at [0], solve_cdf at
+  /// [1..horizon], then +inf padding up to a power of two. Built by
+  /// expand_history_tree; empty on hand-assembled trees, in which case
+  /// samplers fall back to std::upper_bound over solve_cdf.
+  std::vector<double> padded_solve_cdf;
 
   /// Mass dropped by prune_below (fate unknown within the horizon).
   double pruned_mass = 0.0;

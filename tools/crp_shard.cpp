@@ -81,6 +81,7 @@
 #include <string>
 #include <vector>
 
+#include "channel/kernels/kernels.h"
 #include "harness/checkpoint.h"
 #include "harness/csv.h"
 #include "harness/grids.h"
@@ -290,6 +291,13 @@ int run_mode(const Options& options) {
   }
   const OwnedGrid grid = table1_grid(options);
   const auto sweep = sweep_options(options);
+
+  // Provenance on stderr (stdout may carry CSV): which ISA tier the
+  // batch kernels dispatched to. Tiers are bit-identical, so shards
+  // from heterogeneous hosts still merge byte-for-byte — this line
+  // lets a fleet audit that claim per artifact.
+  std::cerr << "crp_shard: kernel tier " << crp::channel::kernel_tier_name()
+            << "\n";
 
   if (!options.sharded) {
     // The monolithic reference: the whole grid in one process.
