@@ -76,14 +76,48 @@ std::optional<double> parse_csv_finite(const std::string& field) {
   return value;
 }
 
+SupportTableBuilder::SupportTableBuilder(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("network size must be >= 2");
+  probs_.assign(n + 1, 0.0);
+}
+
+void SupportTableBuilder::add(double size, double probability,
+                              const std::string& where) {
+  const auto reject = [&](const char* message) {
+    throw std::invalid_argument(where + ": " + message);
+  };
+  // Finiteness first: NaN compares false against every bound below,
+  // so an ordering-only check would wave it through.
+  if (!std::isfinite(size)) reject("non-finite size");
+  if (!std::isfinite(probability)) reject("non-finite probability");
+  const std::size_t n = probs_.size() - 1;
+  if (size < 2.0 || size > static_cast<double>(n) ||
+      size != std::floor(size)) {
+    reject("size must be an integer in [2, n]");
+  }
+  if (probability < 0.0) reject("negative probability");
+  probs_[static_cast<std::size_t>(size)] += probability;
+  total_ += probability;
+  saw_data_ = true;
+}
+
+info::SizeDistribution SupportTableBuilder::build(
+    const std::string& where) const {
+  if (!saw_data_ || total_ <= 0.0) {
+    throw std::invalid_argument(
+        (where.empty() ? std::string{} : where + ": ") +
+        "no positive-probability rows found");
+  }
+  std::vector<double> probs = probs_;
+  for (double& p : probs) p /= total_;
+  return info::SizeDistribution(std::move(probs));
+}
+
 info::SizeDistribution read_size_distribution_csv(std::istream& in,
                                                   std::size_t n) {
-  if (n < 2) throw std::invalid_argument("network size must be >= 2");
-  std::vector<double> probs(n + 1, 0.0);
-  double total = 0.0;
+  SupportTableBuilder builder(n);
   std::string line;
   std::size_t line_number = 0;
-  bool saw_data = false;
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
@@ -93,30 +127,15 @@ info::SizeDistribution read_size_distribution_csv(std::istream& in,
                                   ": expected \"size,probability\"");
     }
     if (!looks_numeric(fields[0]) || !looks_numeric(fields[1])) {
-      if (!saw_data) continue;  // tolerate a single header row
+      if (builder.empty()) continue;  // tolerate a single header row
       throw std::invalid_argument("line " + std::to_string(line_number) +
                                   ": non-numeric row after data");
     }
     const double size_value = parse_finite(fields[0], line_number, "size");
     const double prob = parse_finite(fields[1], line_number, "probability");
-    if (size_value < 2.0 || size_value > static_cast<double>(n) ||
-        size_value != std::floor(size_value)) {
-      throw std::invalid_argument("line " + std::to_string(line_number) +
-                                  ": size must be an integer in [2, n]");
-    }
-    if (prob < 0.0) {
-      throw std::invalid_argument("line " + std::to_string(line_number) +
-                                  ": negative probability");
-    }
-    probs[static_cast<std::size_t>(size_value)] += prob;
-    total += prob;
-    saw_data = true;
+    builder.add(size_value, prob, "line " + std::to_string(line_number));
   }
-  if (!saw_data || total <= 0.0) {
-    throw std::invalid_argument("no positive-probability rows found");
-  }
-  for (double& p : probs) p /= total;
-  return info::SizeDistribution(std::move(probs));
+  return builder.build();
 }
 
 info::SizeDistribution read_size_distribution_csv_file(

@@ -33,6 +33,39 @@ info::SizeDistribution read_size_distribution_csv_file(
 void write_size_distribution_csv(std::ostream& out,
                                  const info::SizeDistribution& dist);
 
+/// The one support-table validator behind every entry point that
+/// builds a SizeDistribution from explicit (size, probability) rows —
+/// read_size_distribution_csv and the grid-spec inline support tables
+/// (harness/gridspec.h) — so the acceptance rules cannot drift between
+/// the two: sizes must be integers in [2, n] (finiteness checked
+/// before any comparison, so NaN cannot slip past an ordering test),
+/// probabilities finite and non-negative, duplicate sizes accumulate,
+/// and the total renormalizes to exactly mass 1 at build time.
+class SupportTableBuilder {
+ public:
+  /// `n` is the maximum network size; throws std::invalid_argument
+  /// when n < 2.
+  explicit SupportTableBuilder(std::size_t n);
+
+  /// Validates and accumulates one entry. `where` prefixes any
+  /// rejection (the CSV reader passes "line N", the grid-spec reader
+  /// the offending field's name and position).
+  void add(double size, double probability, const std::string& where);
+
+  /// Renormalizes and builds the distribution. Throws
+  /// std::invalid_argument when no positive-probability entry was
+  /// added; `where` prefixes the error when non-empty.
+  info::SizeDistribution build(const std::string& where = {}) const;
+
+  /// True until the first successfully validated entry.
+  bool empty() const { return !saw_data_; }
+
+ private:
+  std::vector<double> probs_;
+  double total_ = 0.0;
+  bool saw_data_ = false;
+};
+
 /// Strict numeric field parsing, shared by the distribution reader,
 /// the shard manifest/CSV readers (harness/shard.h), and CLI flag
 /// parsing. parse_csv_unsigned accepts plain decimal digits only —

@@ -377,10 +377,6 @@ std::vector<SweepResult> merge_shards(std::span<const ShardRun> shards) {
 
 // ---- manifest JSON ----
 
-namespace {
-
-constexpr const char* kManifestFormat = "crp-shard-manifest-v1";
-
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -404,6 +400,10 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
+
+namespace {
+
+constexpr const char* kManifestFormat = "crp-shard-manifest-v1";
 
 /// A strict parser for exactly the manifest schema: one flat object
 /// whose values are strings, plain non-negative integers, or an array

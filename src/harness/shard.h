@@ -169,6 +169,12 @@ std::vector<SweepResult> merge_shards(std::span<const ShardRun> shards);
 void write_shard_manifest(std::ostream& out, const ShardManifest& manifest);
 ShardManifest read_shard_manifest(std::istream& in);
 
+/// JSON string escaping as the manifest writer emits it ('"', '\\',
+/// and control characters escaped; everything else verbatim) — shared
+/// with crp_shard's `plan --json` output so every JSON artifact the
+/// toolchain produces quotes strings identically.
+std::string json_escape(const std::string& s);
+
 /// A shard CSV re-read for merging: the raw header and row lines
 /// (passed through verbatim so the merged file is byte-identical to
 /// the monolithic write) plus the parsed cell_seed column. Parsing is

@@ -8,9 +8,17 @@ through run / interrupt / resume / merge cycles — including a SIGTERM
 mid-grid and deliberately corrupted artifacts — and checks both the
 codes and that corruption errors name the offending file.
 
-Usage: crp_shard_cli_test.py /path/to/crp_shard
+Also covers the declarative grid-spec surface: `plan` output (text and
+--json) must describe exactly what `run --shard` executes, a
+`--grid-spec` sweep of the checked-in examples/grids/table1.json must
+be byte-identical to the compiled-in table1 grid (monolithic and
+shard+merge), and spec validation/readability failures must exit 3/4
+with the offending field and file named.
+
+Usage: crp_shard_cli_test.py /path/to/crp_shard [/path/to/source/tree]
 """
 
+import json
 import os
 import signal
 import subprocess
@@ -19,6 +27,8 @@ import tempfile
 import time
 
 CRP_SHARD = sys.argv[1]
+SOURCE_DIR = (sys.argv[2] if len(sys.argv) > 2
+              else os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 FAILURES = []
 
 
@@ -167,6 +177,152 @@ with tempfile.TemporaryDirectory() as tmp:
         4,
         stderr_contains=[csv_path, manifests[0]],
     )
+
+    # --- grid specs: plan + --grid-spec vs the compiled-in grid ---
+    spec = os.path.join(SOURCE_DIR, "examples", "grids", "table1.json")
+    SPEC_GRID = ["--grid-spec", spec, "--trials", "200", "--seed", "7"]
+    BUILTIN_GRID = ["--grid", "table1", "--n", "1024",
+                    "--trials", "200", "--seed", "7"]
+
+    # plan-mode flag surface: exit 2.
+    check("plan with --shard", run("plan", *BUILTIN_GRID, "--shard", "0/2"), 2)
+    check("plan with --out", run("plan", *BUILTIN_GRID, "--out", mono), 2)
+    check("--grid with --grid-spec",
+          run("plan", "--grid", "table1", "--grid-spec", spec), 2)
+    check("--n with --grid-spec",
+          run("plan", "--grid-spec", spec, "--n", "1024"), 2)
+    check("--json outside plan", run("run", *BUILTIN_GRID, "--json"), 2)
+    check("--shards outside plan",
+          run("run", *BUILTIN_GRID, "--shards", "3"), 2)
+
+    # plan text output: the golden shape, identical between the
+    # built-in grid and the checked-in spec below the grid label line.
+    plan_builtin = run("plan", *BUILTIN_GRID, "--shards", "3")
+    plan_spec = run("plan", *SPEC_GRID, "--shards", "3")
+    check("plan built-in grid", plan_builtin, 0)
+    check("plan spec grid", plan_spec, 0)
+    builtin_lines = plan_builtin.stdout.splitlines()
+    spec_lines = plan_spec.stdout.splitlines()
+    golden = [
+        (1, "cells: 8, "), (1, ", shards 3"),
+        (2, "shard 0/3: cells [0, 2)"),
+        (3, 'cell 0: algorithm "likelihood", sizes "H=0.00", '
+            'budget 262144, trials 200, seed_stream 0x0, cell_seed 0x'),
+        (5, "shard 1/3: cells [2, 5)"),
+        (9, "shard 2/3: cells [5, 8)"),
+        (12, 'cell 7: algorithm "coded", sizes "H=3.00", '
+             'budget 16384, trials 200, seed_stream 0x7, cell_seed 0x'),
+    ]
+    if len(builtin_lines) != 13 or not builtin_lines[0].startswith("grid: "):
+        FAILURES.append(f"plan text has unexpected shape: {builtin_lines}")
+    elif any(needle not in builtin_lines[index] for index, needle in golden):
+        FAILURES.append(f"plan text drifted from golden: {builtin_lines}")
+    elif builtin_lines[1:] != spec_lines[1:]:
+        FAILURES.append("plan text differs between built-in grid and spec:\n"
+                        + plan_builtin.stdout + plan_spec.stdout)
+    else:
+        print("ok   plan text matches golden, spec == built-in")
+
+    # plan --json: machine-readable, and identical modulo the label.
+    plan_builtin_json = run("plan", *BUILTIN_GRID, "--shards", "3", "--json")
+    plan_spec_json = run("plan", *SPEC_GRID, "--shards", "3", "--json")
+    check("plan --json built-in grid", plan_builtin_json, 0)
+    check("plan --json spec grid", plan_spec_json, 0)
+    doc = json.loads(plan_builtin_json.stdout)
+    spec_doc = json.loads(plan_spec_json.stdout)
+    problems = []
+    if doc["format"] != "crp-shard-plan-v1":
+        problems.append(f"format {doc['format']!r}")
+    if doc["total_cells"] != 8 or doc["shard_count"] != 3:
+        problems.append("wrong totals")
+    ranges = [(s["cell_begin"], s["cell_end"]) for s in doc["shards"]]
+    if ranges != [(0, 2), (2, 5), (5, 8)]:
+        problems.append(f"ranges {ranges}")
+    cells = [c for s in doc["shards"] for c in s["cells"]]
+    if [c["cell_index"] for c in cells] != list(range(8)):
+        problems.append("cell indices not 0..7")
+    if [c["budget"] for c in cells] != [262144, 16384] * 4:
+        problems.append("budgets drifted")
+    if any(c["trials"] != 200 for c in cells):
+        problems.append("trials drifted")
+    if [c["seed_stream"] for c in cells] != [hex(i) for i in range(8)]:
+        problems.append("seed streams not pinned to grid indices")
+    doc.pop("grid")
+    spec_doc.pop("grid")
+    if doc != spec_doc:
+        problems.append("spec plan differs from built-in plan")
+    if problems:
+        FAILURES.append(f"plan --json: {'; '.join(problems)}")
+        print(f"FAIL plan --json: {'; '.join(problems)}")
+    else:
+        print("ok   plan --json matches golden, spec == built-in")
+
+    # --grid-spec end to end: monolithic and shard+merge runs must be
+    # byte-identical to the compiled-in grid's monolithic CSV.
+    builtin_csv = os.path.join(tmp, "builtin.csv")
+    spec_csv = os.path.join(tmp, "spec.csv")
+    spec_merged = os.path.join(tmp, "spec-merged.csv")
+    spec_shards = os.path.join(tmp, "spec-shards")
+    check("monolithic built-in run",
+          run("run", *BUILTIN_GRID, "--out", builtin_csv), 0)
+    check("monolithic spec run", run("run", *SPEC_GRID, "--out", spec_csv), 0)
+    for i in range(3):
+        check(f"spec shard {i}/3",
+              run("run", *SPEC_GRID, "--shard", f"{i}/3",
+                  "--out-dir", spec_shards), 0)
+    spec_manifests = [
+        os.path.join(spec_shards, f"shard-{i}-of-3.manifest.json")
+        for i in range(3)]
+    check("spec merge", run("merge", "--out", spec_merged, *spec_manifests), 0)
+    with open(builtin_csv, "rb") as handle:
+        builtin_bytes = handle.read()
+    for label, path in [("monolithic spec CSV", spec_csv),
+                        ("sharded+merged spec CSV", spec_merged)]:
+        with open(path, "rb") as handle:
+            if handle.read() != builtin_bytes:
+                FAILURES.append(f"{label} differs from built-in grid CSV")
+            else:
+                print(f"ok   {label} is byte-identical to built-in grid")
+
+    # The plan is what the shards executed: ranges and per-cell seeds
+    # in the run manifests must match the --json plan exactly.
+    problems = []
+    for index, manifest_path in enumerate(spec_manifests):
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        planned = spec_doc["shards"][index]
+        if (manifest["cell_begin"], manifest["cell_end"]) != (
+                planned["cell_begin"], planned["cell_end"]):
+            problems.append(f"shard {index} range mismatch")
+        if manifest["cell_seeds"] != [c["cell_seed"]
+                                      for c in planned["cells"]]:
+            problems.append(f"shard {index} cell seeds mismatch")
+    if problems:
+        FAILURES.append(f"plan vs manifests: {'; '.join(problems)}")
+        print(f"FAIL plan vs manifests: {'; '.join(problems)}")
+    else:
+        print("ok   executed manifests match the published plan")
+
+    # Spec validation failure: exit 3, naming the file and the field.
+    bad_spec = os.path.join(tmp, "bad-spec.json")
+    with open(bad_spec, "w") as handle:
+        handle.write('{"format": "crp-grid-spec-v1", "n": 1024,\n'
+                     ' "frobnicate": 1}')
+    check("invalid grid spec",
+          run("run", "--grid-spec", bad_spec),
+          3,
+          stderr_contains=[bad_spec, 'unknown field "frobnicate"', "line 2"])
+    check("plan with invalid grid spec",
+          run("plan", "--grid-spec", bad_spec),
+          3,
+          stderr_contains=['unknown field "frobnicate"'])
+
+    # Unreadable spec file: exit 4 (I/O, retryable), naming the path.
+    missing_spec = os.path.join(tmp, "no-such-spec.json")
+    check("missing grid spec",
+          run("run", "--grid-spec", missing_spec),
+          4,
+          stderr_contains=[missing_spec])
 
     # --- SIGTERM mid-grid: finish the cell, flush, exit 75 ---
     sig_dir = os.path.join(tmp, "sigterm")

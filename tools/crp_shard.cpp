@@ -9,12 +9,29 @@
 // CI shard-smoke and crash-resume steps diff the outputs).
 //
 // Usage:
-//   crp_shard run    [--grid table1] [--n N] [--trials T] [--seed S]
+//   crp_shard run    [--grid table1 | --grid-spec FILE] [--n N]
+//                    [--trials T] [--seed S]
 //                    [--threads T] [--cd-engine simulate|tree]
 //                    [--shard I/N] [--cells B:E] [--out FILE]
 //                    [--out-dir DIR] [--stop-after-cells K]
 //   crp_shard resume (same flags as run; sharded only)
+//   crp_shard plan   [--grid table1 | --grid-spec FILE] [--n N]
+//                    [--trials T] [--seed S] [--shards N] [--json]
 //   crp_shard merge  --out FILE [--allow-partial] MANIFEST.json...
+//
+// --grid-spec swaps the compiled-in grid for a declarative
+// crp-grid-spec-v1 JSON file (harness/gridspec.h, grammar in
+// docs/GRIDSPEC.md): the spec's cells flow through the same
+// fingerprint/journal/manifest machinery, so a spec that reproduces a
+// built-in grid shards and merges byte-identically to it. The spec
+// pins its own network size, so --grid-spec excludes --grid and --n.
+//
+// plan prints the shard → cell-range map for --shards N workers — per
+// cell: global index, algorithm, size source, budget, trials, pinned
+// seed stream, and the derived per-cell seed — without executing
+// anything; --json emits the same plan as a crp-shard-plan-v1
+// document for external schedulers. The plan is exactly what
+// `run --shard i/N` will execute: both sit on plan_shards().
 //
 // run without --shard/--cells executes the whole grid in this process
 // and writes the sweep CSV to --out (default: stdout) — the reference
@@ -82,8 +99,10 @@
 #include <vector>
 
 #include "channel/kernels/kernels.h"
+#include "channel/rng.h"
 #include "harness/checkpoint.h"
 #include "harness/csv.h"
+#include "harness/gridspec.h"
 #include "harness/grids.h"
 #include "harness/shard.h"
 #include "harness/sweep.h"
@@ -110,6 +129,7 @@ void install_stop_handlers() {
 struct Options {
   std::string mode;
   std::string grid = "table1";
+  std::string grid_spec;
   std::size_t n = 1 << 16;
   std::size_t trials = 6000;
   std::uint64_t seed = 20210526;
@@ -118,7 +138,11 @@ struct Options {
   bool sharded = false;
   bool shard_flag = false;
   bool cells_flag = false;
+  bool grid_flag = false;
+  bool n_flag = false;
   bool allow_partial = false;
+  bool plan_json = false;
+  std::size_t plan_shard_count = 1;
   std::size_t stop_after_cells = 0;
   crp::harness::ShardOptions shard;
   std::string out;
@@ -129,11 +153,14 @@ struct Options {
 [[noreturn]] void usage_error(const std::string& message) {
   std::cerr
       << "crp_shard: " << message << "\n"
-      << "usage: crp_shard run    [--grid table1] [--n N] [--trials T]"
+      << "usage: crp_shard run    [--grid table1 | --grid-spec FILE]"
+         " [--n N] [--trials T]"
          " [--seed S] [--threads T] [--cd-engine simulate|tree]"
          " [--shard I/N] [--cells B:E] [--out FILE] [--out-dir DIR]"
          " [--stop-after-cells K]\n"
          "       crp_shard resume (same flags as run; sharded only)\n"
+         "       crp_shard plan   [--grid table1 | --grid-spec FILE]"
+         " [--n N] [--trials T] [--seed S] [--shards N] [--json]\n"
          "       crp_shard merge  --out FILE [--allow-partial]"
          " MANIFEST.json...\n"
          "exit codes: 0 ok, 2 usage, 3 validation, 4 I/O,"
@@ -157,7 +184,7 @@ Options parse_args(int argc, char** argv) {
   if (argc < 2) usage_error("missing mode (run, resume, or merge)");
   options.mode = argv[1];
   if (options.mode != "run" && options.mode != "resume" &&
-      options.mode != "merge") {
+      options.mode != "plan" && options.mode != "merge") {
     usage_error("unknown mode \"" + options.mode + "\"");
   }
   for (int i = 2; i < argc; ++i) {
@@ -168,8 +195,29 @@ Options parse_args(int argc, char** argv) {
     };
     if (arg == "--grid") {
       options.grid = next();
+      options.grid_flag = true;
+    } else if (arg == "--grid-spec") {
+      options.grid_spec = next();
+      if (options.grid_spec.empty()) {
+        usage_error("--grid-spec needs a non-empty file path");
+      }
     } else if (arg == "--n") {
       options.n = parse_size(next(), arg);
+      options.n_flag = true;
+    } else if (arg == "--shards") {
+      if (options.mode != "plan") {
+        usage_error("--shards applies to plan mode only (run/resume "
+                    "take --shard I/N)");
+      }
+      options.plan_shard_count = parse_size(next(), arg);
+      if (options.plan_shard_count == 0) {
+        usage_error("--shards must be >= 1");
+      }
+    } else if (arg == "--json") {
+      if (options.mode != "plan") {
+        usage_error("--json applies to plan mode only");
+      }
+      options.plan_json = true;
     } else if (arg == "--trials") {
       options.trials = parse_size(next(), arg);
     } else if (arg == "--seed") {
@@ -223,8 +271,31 @@ Options parse_args(int argc, char** argv) {
     }
   }
   const bool executes = options.mode == "run" || options.mode == "resume";
-  if (executes && !options.manifests.empty()) {
+  const bool plans = options.mode == "plan";
+  if ((executes || plans) && !options.manifests.empty()) {
     usage_error(options.mode + " mode takes no positional arguments");
+  }
+  if (!options.grid_spec.empty() && options.mode == "merge") {
+    usage_error("--grid-spec applies to run, resume, and plan modes");
+  }
+  if (!options.grid_spec.empty() && options.grid_flag) {
+    usage_error("--grid and --grid-spec are mutually exclusive (the spec "
+                "is the grid)");
+  }
+  if (!options.grid_spec.empty() && options.n_flag) {
+    usage_error("--n conflicts with --grid-spec (the spec pins its own "
+                "\"n\")");
+  }
+  if (plans && options.sharded) {
+    usage_error("plan mode maps every shard at once — use --shards N, "
+                "not --shard/--cells");
+  }
+  if (plans && (!options.out.empty() || !options.out_dir.empty())) {
+    usage_error("plan mode executes nothing and writes no artifacts — "
+                "drop --out/--out-dir");
+  }
+  if (plans && options.stop_after_cells != 0) {
+    usage_error("--stop-after-cells applies to sharded runs, not plan");
   }
   if (options.mode == "merge" && options.manifests.empty()) {
     usage_error("merge mode needs at least one manifest path");
@@ -252,24 +323,141 @@ Options parse_args(int argc, char** argv) {
     usage_error("--out applies to whole-grid runs; sharded runs write "
                 "their artifact set into --out-dir");
   }
-  if (executes && options.n < 4) usage_error("--n must be >= 4");
+  if ((executes || plans) && options.grid_spec.empty() && options.n < 4) {
+    usage_error("--n must be >= 4");
+  }
   return options;
 }
 
-/// A grid plus the entropy points its cells reference; keep alive
-/// until the sweep is done. The cells come from the shared reference
-/// builder (harness/grids.h), so "table1" here is exactly the grid
-/// bench_table1 measures.
+/// A grid plus whatever storage its cells reference — the entropy
+/// points of a built-in grid or the parsed spec of a --grid-spec one;
+/// keep alive until the sweep is done. The built-in cells come from
+/// the shared reference builder (harness/grids.h), so "table1" here is
+/// exactly the grid bench_table1 measures.
 struct OwnedGrid {
+  std::string label;
   std::vector<crp::harness::Table1EntropyPoint> points;
+  crp::harness::GridSpec spec;
   std::vector<crp::harness::SweepCell> cells;
 };
 
-OwnedGrid table1_grid(const Options& options) {
+OwnedGrid build_grid(const Options& options) {
   OwnedGrid owned;
+  if (!options.grid_spec.empty()) {
+    owned.spec = crp::harness::read_grid_spec_file(options.grid_spec);
+    owned.cells = owned.spec.cells;
+    owned.label = "spec " + options.grid_spec;
+    if (!owned.spec.name.empty()) {
+      owned.label += " (\"" + owned.spec.name + "\")";
+    }
+    return owned;
+  }
+  if (options.grid != "table1") {
+    usage_error("unknown grid \"" + options.grid + "\"");
+  }
   owned.points = crp::harness::table1_entropy_points(options.n);
   owned.cells = crp::harness::table1_upper_bound_grid(owned.points).cells();
+  owned.label =
+      "built-in \"table1\" (n = " + std::to_string(options.n) + ")";
   return owned;
+}
+
+std::string hex(std::uint64_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << value;
+  return out.str();
+}
+
+/// The shard → cell map for --shards N workers, with nothing executed:
+/// everything a scheduler needs to fan out `run --shard i/N` jobs and
+/// predict their artifacts. Both output formats carry, per cell, the
+/// global index, the pinned seed stream, and the derived per-cell seed
+/// (the cell_seed column the shard CSVs will record).
+int plan_mode(const Options& options) {
+  namespace ch = crp::harness;
+  const OwnedGrid grid = build_grid(options);
+  const std::span<const ch::SweepCell> cells(grid.cells);
+  const std::uint64_t fingerprint = ch::grid_fingerprint(cells);
+
+  std::vector<ch::ShardPlan> plans;
+  plans.reserve(options.plan_shard_count);
+  for (std::size_t s = 0; s < options.plan_shard_count; ++s) {
+    ch::ShardOptions shard;
+    shard.shard_index = s;
+    shard.shard_count = options.plan_shard_count;
+    plans.push_back(ch::plan_shards(cells, shard));
+  }
+
+  const auto cell_trials = [&](const ch::SweepCell& cell) {
+    return cell.trials != 0 ? cell.trials : options.trials;
+  };
+
+  std::ostringstream out;
+  if (options.plan_json) {
+    out << "{\n"
+        << "  \"format\": \"crp-shard-plan-v1\",\n"
+        << "  \"grid\": \"" << ch::json_escape(grid.label) << "\",\n"
+        << "  \"total_cells\": " << grid.cells.size() << ",\n"
+        << "  \"grid_hash\": \"" << hex(fingerprint) << "\",\n"
+        << "  \"master_seed\": \"" << hex(options.seed) << "\",\n"
+        << "  \"default_trials\": " << options.trials << ",\n"
+        << "  \"shard_count\": " << options.plan_shard_count << ",\n"
+        << "  \"shards\": [";
+    for (std::size_t s = 0; s < plans.size(); ++s) {
+      const ch::ShardPlan& plan = plans[s];
+      out << (s == 0 ? "\n" : ",\n")
+          << "    {\n"
+          << "      \"shard_index\": " << plan.shard_index << ",\n"
+          << "      \"cell_begin\": " << plan.cell_begin << ",\n"
+          << "      \"cell_end\": " << plan.cell_end << ",\n"
+          << "      \"cells\": [";
+      for (std::size_t j = 0; j < plan.cells.size(); ++j) {
+        const ch::SweepCell& cell = plan.cells[j];
+        out << (j == 0 ? "\n" : ",\n")
+            << "        {\n"
+            << "          \"cell_index\": " << (plan.cell_begin + j) << ",\n"
+            << "          \"algorithm\": \""
+            << ch::json_escape(cell.algorithm.name) << "\",\n"
+            << "          \"sizes\": \"" << ch::json_escape(cell.sizes.name)
+            << "\",\n"
+            << "          \"budget\": " << cell.max_rounds << ",\n"
+            << "          \"trials\": " << cell_trials(cell) << ",\n"
+            << "          \"seed_stream\": \"" << hex(cell.seed_stream)
+            << "\",\n"
+            << "          \"cell_seed\": \""
+            << hex(crp::channel::derive_stream_seed(options.seed,
+                                                    cell.seed_stream))
+            << "\"\n"
+            << "        }";
+      }
+      out << "\n      ]\n    }";
+    }
+    out << "\n  ]\n}\n";
+  } else {
+    out << "grid: " << grid.label << "\n"
+        << "cells: " << grid.cells.size() << ", fingerprint "
+        << hex(fingerprint) << ", master seed " << hex(options.seed)
+        << ", default trials " << options.trials << ", shards "
+        << options.plan_shard_count << "\n";
+    for (const ch::ShardPlan& plan : plans) {
+      out << "shard " << plan.shard_index << "/" << plan.shard_count
+          << ": cells [" << plan.cell_begin << ", " << plan.cell_end
+          << ")\n";
+      for (std::size_t j = 0; j < plan.cells.size(); ++j) {
+        const ch::SweepCell& cell = plan.cells[j];
+        out << "  cell " << (plan.cell_begin + j) << ": algorithm \""
+            << cell.algorithm.name << "\", sizes \"" << cell.sizes.name
+            << "\", budget " << cell.max_rounds << ", trials "
+            << cell_trials(cell) << ", seed_stream "
+            << hex(cell.seed_stream) << ", cell_seed "
+            << hex(crp::channel::derive_stream_seed(options.seed,
+                                                    cell.seed_stream))
+            << "\n";
+      }
+    }
+  }
+  std::cout << out.str();
+  return kExitOk;
 }
 
 crp::harness::SweepOptions sweep_options(const Options& options) {
@@ -286,10 +474,7 @@ crp::harness::SweepOptions sweep_options(const Options& options) {
 }
 
 int run_mode(const Options& options) {
-  if (options.grid != "table1") {
-    usage_error("unknown grid \"" + options.grid + "\"");
-  }
-  const OwnedGrid grid = table1_grid(options);
+  const OwnedGrid grid = build_grid(options);
   const auto sweep = sweep_options(options);
 
   // Provenance on stderr (stdout may carry CSV): which ISA tier the
@@ -443,7 +628,9 @@ int merge_mode(const Options& options) {
 int main(int argc, char** argv) {
   const Options options = parse_args(argc, argv);
   try {
-    return options.mode == "merge" ? merge_mode(options) : run_mode(options);
+    if (options.mode == "merge") return merge_mode(options);
+    if (options.mode == "plan") return plan_mode(options);
+    return run_mode(options);
   } catch (const crp::harness::IoError& error) {
     std::cerr << "crp_shard: I/O error: " << error.what() << "\n";
     return kExitIo;
