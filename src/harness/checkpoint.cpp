@@ -224,10 +224,21 @@ void atomic_write_file(const std::string& path, std::string_view contents) {
   const fs::path target(path);
   if (target.has_parent_path()) {
     std::error_code ec;
+    // Note which ancestors are about to be created (deepest first):
+    // each new directory is an entry in *its* parent, so every such
+    // parent needs an fsync or a power loss can forget the chain.
+    std::vector<fs::path> created;
+    for (fs::path p = target.parent_path(); !p.empty() && !fs::exists(p, ec);
+         p = p.parent_path()) {
+      created.push_back(p);
+    }
     fs::create_directories(target.parent_path(), ec);
     if (ec) {
       throw IoError("cannot create directory " +
                     target.parent_path().string() + ": " + ec.message());
+    }
+    for (auto it = created.rbegin(); it != created.rend(); ++it) {
+      fsync_directory(it->parent_path());
     }
   }
   const std::string tmp = path + ".tmp";
@@ -599,6 +610,7 @@ CheckpointRunResult run_sweep_shard_checkpointed(
     if (options.max_cells != 0 && result.executed_cells >= options.max_cells) {
       break;
     }
+    if (options.on_cell_start) options.on_cell_start(plan.cell_begin + j);
     auto cell_results =
         run_sweep(std::span<const SweepCell>(&plan.cells[j], 1), cell_options);
     SweepResult cell_result = std::move(cell_results.front());
@@ -612,6 +624,9 @@ CheckpointRunResult run_sweep_shard_checkpointed(
     sink->sync();
     rows[j] = std::move(record.row);
     ++result.executed_cells;
+    if (options.on_cell_executed) {
+      options.on_cell_executed(plan.cell_begin + j);
+    }
   }
 
   for (const auto& row : rows) {

@@ -65,7 +65,11 @@ struct IoError : std::runtime_error {
 /// directory. A crash or disk-full at any point leaves either the old
 /// file (or nothing) or the complete new file under `path` — never a
 /// half-written artifact under the final name. Creates parent
-/// directories as needed. Throws IoError.
+/// directories as needed, and fsyncs the parent of every directory it
+/// creates: a new directory is itself just an entry in *its* parent,
+/// so without the chain fsync a power loss right after the rename
+/// could forget the whole directory tree even though the file's own
+/// directory entry was flushed. Throws IoError.
 void atomic_write_file(const std::string& path, std::string_view contents);
 
 /// Durability seam for journal appends. The production sink is an
@@ -162,6 +166,14 @@ struct CheckpointRunOptions {
   std::size_t max_cells = 0;
   /// Sink factory; null = open_file_checkpoint_sink.
   CheckpointSinkFactory sink_factory;
+  /// Fault-injection seams (null = no-op): called with the *global*
+  /// grid index of each freshly executed cell — on_cell_start just
+  /// before the cell runs, on_cell_executed right after its record is
+  /// durably appended. crp_shard wires these to the CRP_FAULT_* env
+  /// vars so supervisor tests can drive real subprocess failures
+  /// deterministically; replayed cells never trigger them.
+  std::function<void(std::size_t)> on_cell_start;
+  std::function<void(std::size_t)> on_cell_executed;
 };
 
 /// The outcome of a checkpointed shard session.

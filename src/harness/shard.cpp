@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <numeric>
 #include <ostream>
@@ -16,6 +18,7 @@
 #include <utility>
 
 #include "channel/protocol.h"
+#include "harness/checkpoint.h"
 #include "harness/csv.h"
 #include "harness/hash.h"
 #include "info/distribution.h"
@@ -810,6 +813,37 @@ void write_merged_rows(std::ostream& out,
 }
 
 }  // namespace
+
+ShardArtifact read_shard_artifact_file(const std::string& manifest_path) {
+  std::ifstream manifest_in(manifest_path);
+  if (!manifest_in) {
+    throw IoError("cannot open manifest " + manifest_path);
+  }
+  ShardArtifact shard;
+  try {
+    shard.manifest = read_shard_manifest(manifest_in);
+  } catch (const std::invalid_argument& error) {
+    // Corruption errors must name the file, not just the field.
+    throw std::invalid_argument(manifest_path + ": " + error.what());
+  }
+  if (shard.manifest.csv.empty()) {
+    throw std::invalid_argument("manifest " + manifest_path +
+                                " names no CSV artifact");
+  }
+  const auto csv_path =
+      std::filesystem::path(manifest_path).parent_path() / shard.manifest.csv;
+  std::ifstream csv_in(csv_path);
+  if (!csv_in) {
+    throw IoError("cannot open shard CSV " + csv_path.string() +
+                  " (named by " + manifest_path + ")");
+  }
+  try {
+    shard.csv = read_shard_csv(csv_in);
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument(csv_path.string() + ": " + error.what());
+  }
+  return shard;
+}
 
 void merge_shard_csvs(std::ostream& out,
                       std::span<const ShardArtifact> shards) {

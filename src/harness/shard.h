@@ -195,6 +195,14 @@ struct ShardArtifact {
   ShardCsv csv;
 };
 
+/// Reads one shard's artifact pair from disk: the manifest at
+/// `manifest_path` plus the CSV it names, resolved relative to the
+/// manifest's directory. Validation errors (std::invalid_argument)
+/// are re-thrown with the offending path prepended; unreadable files
+/// throw IoError (harness/checkpoint.h). Shared by `crp_shard merge`
+/// and the supervisor's merge/backfill loop.
+ShardArtifact read_shard_artifact_file(const std::string& manifest_path);
+
 /// CSV-level merge: validates the manifest set (as merge_shards does)
 /// plus header equality, per-shard row counts, and row-seed /
 /// manifest-seed agreement, then writes one header and every row in

@@ -61,6 +61,31 @@ def flip_byte(path, offset):
         handle.write(bytes([byte[0] ^ 0x01]))
 
 
+def fault_env(**variables):
+    """os.environ plus CRP_FAULT_* (or other) overrides, stringified."""
+    env = dict(os.environ)
+    env.update({key: str(value) for key, value in variables.items()})
+    return env
+
+
+def wait_for(predicate, label, timeout=60):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    FAILURES.append(f"timed out waiting for {label}")
+    return False
+
+
+def journal_has_cell(path):
+    try:
+        with open(path, "rb") as handle:
+            return b"\ncell " in b"\n" + handle.read()
+    except FileNotFoundError:
+        return False
+
+
 GRID = ["--n", "4096", "--trials", "200", "--seed", "7"]
 
 with tempfile.TemporaryDirectory() as tmp:
@@ -323,6 +348,188 @@ with tempfile.TemporaryDirectory() as tmp:
           run("run", "--grid-spec", missing_spec),
           4,
           stderr_contains=[missing_spec])
+
+    # --- supervise: the self-healing fleet driver ---
+    # Tight backoffs keep the chaos cases fast; every merged CSV must
+    # be byte-identical to the monolithic run (minus quarantined rows).
+    FAST = ["--backoff-ms", "10", "--backoff-max-ms", "40"]
+    mono_lines = builtin_bytes.splitlines(keepends=True)
+    sup_out = os.path.join(tmp, "sup.csv")
+    sup_dir = os.path.join(tmp, "sup-work")
+
+    # Flag surface: exit 2.
+    check("supervise without --out/--out-dir",
+          run("supervise", *BUILTIN_GRID), 2)
+    check("supervise with --shard",
+          run("supervise", *BUILTIN_GRID, "--out", sup_out,
+              "--out-dir", sup_dir, "--shard", "0/2"), 2)
+    check("supervise with zero workers",
+          run("supervise", *BUILTIN_GRID, "--out", sup_out,
+              "--out-dir", sup_dir, "--workers", "0"), 2)
+    check("--workers outside supervise",
+          run("run", *BUILTIN_GRID, "--workers", "3"), 2)
+    check("--resume outside supervise",
+          run("run", *BUILTIN_GRID, "--resume"), 2)
+    check("--stop-after-cells 0 rejected",
+          run("run", *BUILTIN_GRID, "--shard", "0/2", "--out-dir", sup_dir,
+              "--stop-after-cells", "0"), 2)
+    check("supervise --resume with no journal",
+          run("supervise", *BUILTIN_GRID, "--out", sup_out,
+              "--out-dir", sup_dir, "--resume"), 3,
+          stderr_contains=["nothing to resume"])
+
+    # Clean fleet: converges, byte-identical, empty quarantine report.
+    check("supervise clean fleet",
+          run("supervise", *BUILTIN_GRID, "--out", sup_out,
+              "--out-dir", sup_dir, "--workers", "3", *FAST), 0)
+    with open(sup_out, "rb") as handle:
+        if handle.read() != builtin_bytes:
+            FAILURES.append("supervised CSV differs from monolithic CSV")
+        else:
+            print("ok   supervised CSV is byte-identical to monolithic")
+    with open(sup_out + ".quarantine.json") as handle:
+        report = json.load(handle)
+    if (report["format"] != "crp-quarantine-v1"
+            or report["quarantined_cells"] != 0 or report["quarantined"]):
+        FAILURES.append(f"clean-run quarantine report malformed: {report}")
+    else:
+        print("ok   clean run ships an empty crp-quarantine-v1 report")
+    check("supervise fresh over an existing journal",
+          run("supervise", *BUILTIN_GRID, "--out", sup_out,
+              "--out-dir", sup_dir, "--workers", "3", *FAST), 3,
+          stderr_contains=["supervisor.journal"])
+
+    # Injected kill-9 after every cell: eight crashes, one converged CSV.
+    chaos_out = os.path.join(tmp, "chaos.csv")
+    check("supervise under constant worker crashes",
+          run("supervise", *BUILTIN_GRID, "--out", chaos_out,
+              "--out-dir", os.path.join(tmp, "chaos-work"),
+              "--workers", "3", *FAST,
+              env=fault_env(CRP_FAULT_CRASH_AFTER_CELLS=1)), 0,
+          stderr_contains=["killed by signal 9"])
+    with open(chaos_out, "rb") as handle:
+        if handle.read() != builtin_bytes:
+            FAILURES.append("crash-chaos CSV differs from monolithic CSV")
+        else:
+            print("ok   crash-chaos CSV is byte-identical to monolithic")
+
+    # Timeout escalation: a cell hung far past the budget draws
+    # SIGTERM, then SIGKILL, and is eventually quarantined.
+    hang_out = os.path.join(tmp, "hang.csv")
+    check("supervise escalates a hung cell",
+          run("supervise", *BUILTIN_GRID, "--out", hang_out,
+              "--out-dir", os.path.join(tmp, "hang-work"),
+              "--workers", "3", "--retry-budget", "1", *FAST,
+              "--worker-timeout-ms", "300", "--kill-grace-ms", "150",
+              env=fault_env(CRP_FAULT_SLEEP_MS_IN_CELL="30000@6")), 0,
+          stderr_contains=["sending SIGTERM", "sending SIGKILL",
+                           "quarantined cell 6"])
+    with open(hang_out + ".quarantine.json") as handle:
+        report = json.load(handle)
+    if (report["quarantined_cells"] != 1
+            or report["quarantined"][0]["cell_index"] != 6
+            or "timed out" not in report["quarantined"][0]["reason"]):
+        FAILURES.append(f"hung-cell quarantine report malformed: {report}")
+    else:
+        print("ok   hung cell lands in the quarantine report")
+    with open(hang_out, "rb") as handle:
+        expected = b"".join(mono_lines[:7] + mono_lines[8:])
+        if handle.read() != expected:
+            FAILURES.append("hung-cell CSV != monolithic minus cell 6's row")
+        else:
+            print("ok   hung-cell CSV is monolithic minus the quarantined row")
+
+    # Poisoned cell: exit-3 validation failures bisect down to the
+    # cell, quarantine it, and the report matches the golden shape.
+    poison_out = os.path.join(tmp, "poison.csv")
+    check("supervise quarantines a poisoned cell",
+          run("supervise", *BUILTIN_GRID, "--out", poison_out,
+              "--out-dir", os.path.join(tmp, "poison-work"),
+              "--workers", "3", "--retry-budget", "1", *FAST,
+              env=fault_env(CRP_FAULT_POISON_CELLS=3)), 0,
+          stderr_contains=["bisecting cells", "quarantined cell 3"])
+    with open(poison_out + ".quarantine.json") as handle:
+        report = json.load(handle)
+    golden_problems = []
+    if report["format"] != "crp-quarantine-v1":
+        golden_problems.append(f"format {report['format']!r}")
+    if not report["grid_hash"].startswith("0x"):
+        golden_problems.append("grid_hash not hex")
+    if report["total_cells"] != 8 or report["quarantined_cells"] != 1:
+        golden_problems.append("wrong counts")
+    quarantined = report["quarantined"][0]
+    if quarantined["cell_index"] != 3:
+        golden_problems.append(f"cell {quarantined['cell_index']}")
+    if "validation error (exit 3)" not in quarantined["reason"]:
+        golden_problems.append(f"reason {quarantined['reason']!r}")
+    if golden_problems:
+        FAILURES.append(f"quarantine golden: {'; '.join(golden_problems)}")
+        print(f"FAIL quarantine golden: {'; '.join(golden_problems)}")
+    else:
+        print("ok   quarantine report matches the golden shape")
+    with open(poison_out, "rb") as handle:
+        expected = b"".join(mono_lines[:4] + mono_lines[5:])
+        if handle.read() != expected:
+            FAILURES.append("poison CSV != monolithic minus cell 3's row")
+        else:
+            print("ok   poison CSV is monolithic minus the quarantined row")
+
+    # Supervisor interrupt + --resume: SIGINT stops the fleet with 75;
+    # the resumed supervisor replays its journal and converges.
+    res_out = os.path.join(tmp, "res.csv")
+    res_dir = os.path.join(tmp, "res-work")
+    proc = subprocess.Popen(
+        [CRP_SHARD, "supervise", *BUILTIN_GRID, "--out", res_out,
+         "--out-dir", res_dir, "--workers", "2", *FAST],
+        env=fault_env(CRP_FAULT_SLEEP_MS_IN_CELL=300),
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+    wait_for(
+        lambda: os.path.isdir(res_dir) and any(
+            journal_has_cell(os.path.join(res_dir, name))
+            for name in os.listdir(res_dir) if name.endswith(".journal")
+            and name != "supervisor.journal"),
+        "a supervised worker to journal a cell")
+    proc.send_signal(signal.SIGINT)
+    stderr = proc.communicate(timeout=120)[1]
+    if proc.returncode != 75:
+        FAILURES.append(f"supervise SIGINT exited {proc.returncode}, "
+                        f"expected 75\n  stderr: {stderr.strip()}")
+    else:
+        print("ok   supervise stops cleanly with exit 75 on SIGINT")
+    check("supervise --resume to convergence",
+          run("supervise", *BUILTIN_GRID, "--out", res_out,
+              "--out-dir", res_dir, "--workers", "2", *FAST, "--resume"), 0,
+          stderr_contains=["resuming:"])
+    with open(res_out, "rb") as handle:
+        if handle.read() != builtin_bytes:
+            FAILURES.append("resumed supervised CSV differs from monolithic")
+        else:
+            print("ok   resumed supervised CSV is byte-identical")
+
+    # --- SIGHUP mid-grid: same resumable contract as SIGINT/SIGTERM ---
+    hup_dir = os.path.join(tmp, "sighup")
+    hup_journal = os.path.join(hup_dir, "shard-0-of-2.journal")
+    proc = subprocess.Popen(
+        [CRP_SHARD, "run", *BUILTIN_GRID, "--shard", "0/2",
+         "--out-dir", hup_dir],
+        env=fault_env(CRP_FAULT_SLEEP_MS_IN_CELL=400),
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+    wait_for(lambda: journal_has_cell(hup_journal),
+             "the SIGHUP worker to journal a cell")
+    proc.send_signal(signal.SIGHUP)
+    stderr = proc.communicate(timeout=120)[1]
+    if proc.returncode != 75:
+        FAILURES.append(f"SIGHUP run exited {proc.returncode}, expected 75\n"
+                        f"  stderr: {stderr.strip()}")
+    elif "resume" not in stderr:
+        FAILURES.append(f"SIGHUP stderr lacks resume hint: {stderr.strip()}")
+    else:
+        print("ok   SIGHUP stops cleanly with exit 75")
+    check("resume after SIGHUP",
+          run("resume", *BUILTIN_GRID, "--shard", "0/2",
+              "--out-dir", hup_dir), 0)
 
     # --- SIGTERM mid-grid: finish the cell, flush, exit 75 ---
     sig_dir = os.path.join(tmp, "sigterm")

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Chaos acceptance gate for `crp_shard supervise`.
+#
+# Runs the Table 1 grid once monolithically (the reference), then runs
+# the same grid under a 3-worker supervised fleet while three kinds of
+# chaos land at once:
+#
+#   * an external kill loop SIGKILLs a random live worker every ~100 ms
+#     (the supervisor only sees "killed by signal 9" and must resume
+#     each victim from its journal's valid prefix);
+#   * CRP_FAULT_EXIT4_ON_APPEND makes every worker die with the
+#     transient I/O exit (4) on its 3rd journal append, so no single
+#     worker process ever finishes a 3-cell range in one life;
+#   * CRP_FAULT_POISON_CELLS poisons one cell, which must be bisected
+#     down to a single-cell range and quarantined, not retried forever.
+#
+# CRP_FAULT_SLEEP_MS_IN_CELL stretches every cell to ~200 ms so worker
+# processes are alive long enough for the kill loop to find them; it
+# changes timing only, never CSV bytes.
+#
+# The gate passes iff the fleet converges with exit 0 and no human
+# intervention, exactly the poisoned cell is quarantined, and the
+# merged CSV is byte-identical (cmp) to the monolithic CSV minus the
+# quarantined row.
+#
+# Usage: tools/chaos_gate.sh [build-dir] [scratch-dir]
+set -euo pipefail
+
+build=${1:-build}
+out=${2:-/tmp/chaos-gate}
+bin=$build/crp_shard
+poison=5
+
+rm -rf "$out"
+mkdir -p "$out"
+
+flags=(--grid table1 --n 1024 --trials 200 --seed 7)
+
+# Monolithic reference, no faults armed.
+"$bin" run "${flags[@]}" --out "$out/single.csv"
+
+# Supervised fleet with injected faults. --retry-budget 10 is far above
+# the 6 external kills delivered below, so random crashes can never
+# exhaust a healthy range's budget and cause a spurious quarantine —
+# only the poisoned cell's validation failures escalate.
+env CRP_FAULT_SLEEP_MS_IN_CELL=200 \
+    CRP_FAULT_EXIT4_ON_APPEND=3 \
+    CRP_FAULT_POISON_CELLS=$poison \
+  "$bin" supervise "${flags[@]}" \
+    --workers 3 --retry-budget 10 --backoff-ms 10 --backoff-max-ms 80 \
+    --out "$out/merged.csv" --out-dir "$out/shards" \
+    2> "$out/supervise.log" &
+sup=$!
+
+# External chaos: SIGKILL a random live worker until six kills have
+# landed or the supervisor finishes first.
+kills=0
+while [ "$kills" -lt 6 ] && kill -0 "$sup" 2>/dev/null; do
+  sleep 0.1
+  workers=$(pgrep -P "$sup" || true)
+  [ -n "$workers" ] || continue
+  victim=$(echo "$workers" | shuf -n 1)
+  if kill -9 "$victim" 2>/dev/null; then
+    kills=$((kills + 1))
+  fi
+done
+echo "chaos: delivered $kills external SIGKILL(s)"
+
+wait "$sup" || {
+  status=$?
+  echo "supervise exited $status instead of converging" >&2
+  cat "$out/supervise.log" >&2
+  exit 1
+}
+
+[ "$kills" -ge 1 ] || {
+  echo "chaos loop never found a live worker to kill" >&2
+  exit 1
+}
+grep -q "killed by signal 9" "$out/supervise.log" || {
+  echo "supervisor log never observed a SIGKILLed worker" >&2
+  exit 1
+}
+grep -q "bisecting cells" "$out/supervise.log" || {
+  echo "supervisor log shows no bisection of the poisoned range" >&2
+  exit 1
+}
+
+# Exactly the poisoned cell must be quarantined, and the merged CSV
+# must equal the monolithic CSV minus that cell's row (row i+1: the
+# CSV has one header line, then one row per cell in grid order).
+python3 - "$out" "$poison" <<'EOF'
+import json
+import sys
+
+out, poison = sys.argv[1], int(sys.argv[2])
+with open(f"{out}/merged.csv.quarantine.json") as f:
+    report = json.load(f)
+assert report["format"] == "crp-quarantine-v1", report["format"]
+cells = [entry["cell_index"] for entry in report["quarantined"]]
+assert cells == [poison], f"quarantined {cells}, expected [{poison}]"
+
+with open(f"{out}/single.csv", "rb") as f:
+    lines = f.read().splitlines(keepends=True)
+del lines[poison + 1]
+with open(f"{out}/expected.csv", "wb") as f:
+    f.write(b"".join(lines))
+EOF
+
+cmp "$out/expected.csv" "$out/merged.csv"
+echo "chaos-supervised CSV is byte-identical minus the quarantined row"

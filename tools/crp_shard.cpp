@@ -18,6 +18,10 @@
 //   crp_shard plan   [--grid table1 | --grid-spec FILE] [--n N]
 //                    [--trials T] [--seed S] [--shards N] [--json]
 //   crp_shard merge  --out FILE [--allow-partial] MANIFEST.json...
+//   crp_shard supervise --out FILE --out-dir DIR [grid/sweep flags]
+//                    [--workers N] [--retry-budget K] [--backoff-ms MS]
+//                    [--backoff-max-ms MS] [--worker-timeout-ms MS]
+//                    [--kill-grace-ms MS] [--resume]
 //
 // --grid-spec swaps the compiled-in grid for a declarative
 // crp-grid-spec-v1 JSON file (harness/gridspec.h, grammar in
@@ -66,11 +70,41 @@
 // (format crp-partial-merge-v1) — the work-list a scheduler feeds
 // back as `crp_shard run --cells B:E` invocations.
 //
-// Signals: on SIGINT/SIGTERM a sharded run finishes the in-flight
-// cell, flushes the journal, and exits with code 75 — external
-// schedulers can requeue a `resume` without parsing stderr.
-// --stop-after-cells K stops the same way after K freshly executed
-// cells (bounded work quanta).
+// supervise is the self-healing service layer (harness/supervisor.h,
+// docs/OPERATIONS.md): it plans the grid into one range per worker,
+// re-execs this binary as `run`/`resume --cells B:E` subprocesses,
+// reacts to the exit-code taxonomy below (75 → resume now, 4 → retry
+// with deterministic exponential backoff + seeded jitter, 3 →
+// bisect/quarantine, crash → resume after backoff), enforces a
+// per-worker wall-clock timeout (SIGTERM, then SIGKILL after a grace
+// period), and loops partial-merge missing ranges into `--cells`
+// backfill jobs until only quarantined cells are absent. It writes
+// the merged CSV to --out plus a crp-quarantine-v1 report at
+// --out.quarantine.json, and journals its own bisection/quarantine
+// decisions in DIR/supervisor.journal so `supervise --resume`
+// restarts the fleet idempotently.
+//
+// Signals: on SIGINT/SIGTERM/SIGHUP a sharded run finishes the
+// in-flight cell, flushes the journal, and exits with code 75 —
+// external schedulers can requeue a `resume` without parsing stderr
+// (SIGHUP included, so workers detached from a dying terminal stay
+// resumable). supervise reacts to the same signals by SIGTERMing its
+// workers and exiting 75 once they stop. --stop-after-cells K stops
+// the same way after K freshly executed cells (bounded work quanta).
+//
+// Fault injection (test seams, inert by default): the CRP_FAULT_*
+// env vars make a *sharded worker* fail deterministically so the
+// supervisor's recovery paths can be driven end-to-end —
+//   CRP_FAULT_CRASH_AFTER_CELLS=N   raise SIGKILL after N freshly
+//                                   executed cells
+//   CRP_FAULT_SLEEP_MS_IN_CELL=MS[@CELL]
+//                                   sleep MS ms at the start of every
+//                                   cell (or only global cell CELL),
+//                                   ignoring stop signals meanwhile
+//   CRP_FAULT_EXIT4_ON_APPEND=N     injected IoError (exit 4) on the
+//                                   Nth journal append of the process
+//   CRP_FAULT_POISON_CELLS=I[,J..]  validation error (exit 3) when
+//                                   asked to execute a listed cell
 //
 // Exit codes (stable; asserted by tests/crp_shard_cli_test.py):
 //   0   success
@@ -89,13 +123,17 @@
 //            schedule and the Section 2.6 coded-search CD policy, each
 //            against that point's lifted distribution. --n scales the
 //            network (and with it the number of entropy points).
+#include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "channel/kernels/kernels.h"
@@ -105,6 +143,7 @@
 #include "harness/gridspec.h"
 #include "harness/grids.h"
 #include "harness/shard.h"
+#include "harness/supervisor.h"
 #include "harness/sweep.h"
 
 namespace {
@@ -124,6 +163,9 @@ extern "C" void handle_stop_signal(int) { g_interrupted = 1; }
 void install_stop_handlers() {
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
+  // SIGHUP too: a worker whose terminal (or supervising session) dies
+  // must stop resumably, not take the default terminate-without-flush.
+  std::signal(SIGHUP, handle_stop_signal);
 }
 
 struct Options {
@@ -148,6 +190,11 @@ struct Options {
   std::string out;
   std::string out_dir;
   std::vector<std::string> manifests;
+  /// supervise mode only.
+  std::string argv0;
+  std::size_t workers = 3;
+  bool supervise_resume = false;
+  crp::harness::RetryPolicyConfig retry;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -163,6 +210,10 @@ struct Options {
          " [--n N] [--trials T] [--seed S] [--shards N] [--json]\n"
          "       crp_shard merge  --out FILE [--allow-partial]"
          " MANIFEST.json...\n"
+         "       crp_shard supervise --out FILE --out-dir DIR"
+         " [grid/sweep flags] [--workers N] [--retry-budget K]"
+         " [--backoff-ms MS] [--backoff-max-ms MS] [--worker-timeout-ms MS]"
+         " [--kill-grace-ms MS] [--resume]\n"
          "exit codes: 0 ok, 2 usage, 3 validation, 4 I/O,"
          " 75 resumable interrupt\n";
   std::exit(kExitUsage);
@@ -181,10 +232,14 @@ std::size_t parse_size(const std::string& value, const std::string& flag) {
 
 Options parse_args(int argc, char** argv) {
   Options options;
-  if (argc < 2) usage_error("missing mode (run, resume, or merge)");
+  if (argc < 2) {
+    usage_error("missing mode (run, resume, plan, merge, or supervise)");
+  }
+  options.argv0 = argv[0];
   options.mode = argv[1];
   if (options.mode != "run" && options.mode != "resume" &&
-      options.mode != "plan" && options.mode != "merge") {
+      options.mode != "plan" && options.mode != "merge" &&
+      options.mode != "supervise") {
     usage_error("unknown mode \"" + options.mode + "\"");
   }
   for (int i = 2; i < argc; ++i) {
@@ -233,6 +288,33 @@ Options parse_args(int argc, char** argv) {
       }
     } else if (arg == "--allow-partial") {
       options.allow_partial = true;
+    } else if (arg == "--workers" || arg == "--retry-budget" ||
+               arg == "--backoff-ms" || arg == "--backoff-max-ms" ||
+               arg == "--worker-timeout-ms" || arg == "--kill-grace-ms") {
+      if (options.mode != "supervise") {
+        usage_error(arg + " applies to supervise mode only");
+      }
+      const std::size_t value = parse_size(next(), arg);
+      if (arg == "--workers") {
+        if (value == 0) usage_error("--workers must be >= 1");
+        options.workers = value;
+      } else if (arg == "--retry-budget") {
+        options.retry.retry_budget = value;
+      } else if (arg == "--backoff-ms") {
+        options.retry.base_backoff_ms = static_cast<std::int64_t>(value);
+      } else if (arg == "--backoff-max-ms") {
+        options.retry.max_backoff_ms = static_cast<std::int64_t>(value);
+      } else if (arg == "--worker-timeout-ms") {
+        options.retry.worker_timeout_ms = static_cast<std::int64_t>(value);
+      } else {
+        options.retry.kill_grace_ms = static_cast<std::int64_t>(value);
+      }
+    } else if (arg == "--resume") {
+      if (options.mode != "supervise") {
+        usage_error("--resume applies to supervise mode only (workers "
+                    "use the `resume` mode)");
+      }
+      options.supervise_resume = true;
     } else if (arg == "--shard") {
       const std::string spec = next();
       const auto slash = spec.find('/');
@@ -272,11 +354,29 @@ Options parse_args(int argc, char** argv) {
   }
   const bool executes = options.mode == "run" || options.mode == "resume";
   const bool plans = options.mode == "plan";
-  if ((executes || plans) && !options.manifests.empty()) {
+  const bool supervises = options.mode == "supervise";
+  if ((executes || plans || supervises) && !options.manifests.empty()) {
     usage_error(options.mode + " mode takes no positional arguments");
   }
   if (!options.grid_spec.empty() && options.mode == "merge") {
-    usage_error("--grid-spec applies to run, resume, and plan modes");
+    usage_error("--grid-spec applies to run, resume, plan, and supervise "
+                "modes");
+  }
+  if (supervises && options.sharded) {
+    usage_error("supervise plans the shard split itself — use --workers N, "
+                "not --shard/--cells");
+  }
+  if (supervises && options.stop_after_cells != 0) {
+    usage_error("--stop-after-cells applies to sharded workers, not "
+                "supervise");
+  }
+  if (supervises && (options.out.empty() || options.out_dir.empty())) {
+    usage_error("supervise needs --out FILE (merged CSV) and --out-dir DIR "
+                "(worker artifacts + supervisor journal)");
+  }
+  if (supervises &&
+      options.retry.max_backoff_ms < options.retry.base_backoff_ms) {
+    usage_error("--backoff-max-ms must be >= --backoff-ms");
   }
   if (!options.grid_spec.empty() && options.grid_flag) {
     usage_error("--grid and --grid-spec are mutually exclusive (the spec "
@@ -323,7 +423,8 @@ Options parse_args(int argc, char** argv) {
     usage_error("--out applies to whole-grid runs; sharded runs write "
                 "their artifact set into --out-dir");
   }
-  if ((executes || plans) && options.grid_spec.empty() && options.n < 4) {
+  if ((executes || plans || supervises) && options.grid_spec.empty() &&
+      options.n < 4) {
     usage_error("--n must be >= 4");
   }
   return options;
@@ -473,6 +574,145 @@ crp::harness::SweepOptions sweep_options(const Options& options) {
   return sweep;
 }
 
+// ---------------------------------------------------------------------------
+// CRP_FAULT_* fault injection (test seams; inert unless the env vars
+// are set — see the header comment for the catalogue)
+
+struct FaultPlan {
+  std::size_t crash_after_cells = 0;  // 0 = off
+  std::int64_t sleep_ms = 0;          // 0 = off
+  bool sleep_every_cell = false;
+  std::size_t sleep_cell = 0;
+  std::size_t exit4_on_append = 0;  // 0 = off; 1-based append index
+  std::vector<std::size_t> poison_cells;
+
+  bool active() const {
+    return crash_after_cells != 0 || sleep_ms != 0 || exit4_on_append != 0 ||
+           !poison_cells.empty();
+  }
+};
+
+std::size_t parse_fault_uint(const char* name, const std::string& value) {
+  const auto parsed = crp::harness::parse_csv_unsigned(value);
+  if (!parsed) {
+    usage_error(std::string(name) + " expects a non-negative integer, got \"" +
+                value + "\"");
+  }
+  return static_cast<std::size_t>(*parsed);
+}
+
+FaultPlan parse_fault_env() {
+  FaultPlan plan;
+  if (const char* raw = std::getenv("CRP_FAULT_CRASH_AFTER_CELLS")) {
+    plan.crash_after_cells = parse_fault_uint("CRP_FAULT_CRASH_AFTER_CELLS",
+                                              raw);
+    if (plan.crash_after_cells == 0) {
+      usage_error("CRP_FAULT_CRASH_AFTER_CELLS must be >= 1");
+    }
+  }
+  if (const char* raw = std::getenv("CRP_FAULT_SLEEP_MS_IN_CELL")) {
+    const std::string value(raw);
+    const auto at = value.find('@');
+    plan.sleep_ms = static_cast<std::int64_t>(parse_fault_uint(
+        "CRP_FAULT_SLEEP_MS_IN_CELL", value.substr(0, at)));
+    if (at == std::string::npos) {
+      plan.sleep_every_cell = true;
+    } else {
+      plan.sleep_cell = parse_fault_uint("CRP_FAULT_SLEEP_MS_IN_CELL cell",
+                                         value.substr(at + 1));
+    }
+  }
+  if (const char* raw = std::getenv("CRP_FAULT_EXIT4_ON_APPEND")) {
+    plan.exit4_on_append = parse_fault_uint("CRP_FAULT_EXIT4_ON_APPEND", raw);
+    if (plan.exit4_on_append == 0) {
+      usage_error("CRP_FAULT_EXIT4_ON_APPEND must be >= 1");
+    }
+  }
+  if (const char* raw = std::getenv("CRP_FAULT_POISON_CELLS")) {
+    std::string value(raw);
+    std::size_t start = 0;
+    while (start <= value.size()) {
+      const auto comma = value.find(',', start);
+      const std::string field =
+          value.substr(start, comma == std::string::npos ? std::string::npos
+                                                         : comma - start);
+      plan.poison_cells.push_back(
+          parse_fault_uint("CRP_FAULT_POISON_CELLS", field));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  return plan;
+}
+
+/// Append sink that throws an injected IoError on the Nth append of
+/// this process — the worker exits 4 with the cell unjournaled,
+/// exactly like a disk that filled mid-record.
+class FaultyAppendSink final : public crp::harness::CheckpointSink {
+ public:
+  FaultyAppendSink(std::unique_ptr<crp::harness::CheckpointSink> inner,
+                   std::size_t fail_on)
+      : inner_(std::move(inner)), fail_on_(fail_on) {}
+  void append(std::string_view bytes) override {
+    if (++appends_ == fail_on_) {
+      throw crp::harness::IoError(
+          "CRP_FAULT_EXIT4_ON_APPEND: injected I/O failure on append " +
+          std::to_string(appends_));
+    }
+    inner_->append(bytes);
+  }
+  void sync() override { inner_->sync(); }
+
+ private:
+  std::unique_ptr<crp::harness::CheckpointSink> inner_;
+  std::size_t fail_on_;
+  std::size_t appends_ = 0;
+};
+
+/// Arms the parsed fault plan on a worker's checkpoint options. The
+/// executed-cell counter lives in the returned shared state, captured
+/// by the hooks.
+void arm_faults(const FaultPlan& faults,
+                crp::harness::CheckpointRunOptions& checkpoint) {
+  if (!faults.active()) return;
+  checkpoint.on_cell_start = [faults](std::size_t cell) {
+    for (const std::size_t poison : faults.poison_cells) {
+      if (poison == cell) {
+        throw std::invalid_argument(
+            "CRP_FAULT_POISON_CELLS: cell " + std::to_string(cell) +
+            " is poisoned");
+      }
+    }
+    if (faults.sleep_ms > 0 &&
+        (faults.sleep_every_cell || faults.sleep_cell == cell)) {
+      // Deliberately deaf to stop signals: the worker must stay hung
+      // through SIGTERM so the supervisor's SIGKILL escalation has
+      // something real to escalate against.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(faults.sleep_ms);
+      while (std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  if (faults.crash_after_cells != 0) {
+    auto executed = std::make_shared<std::size_t>(0);
+    const std::size_t limit = faults.crash_after_cells;
+    checkpoint.on_cell_executed = [executed, limit](std::size_t) {
+      if (++*executed >= limit) {
+        std::raise(SIGKILL);  // a real hard crash: nothing else flushes
+      }
+    };
+  }
+  if (faults.exit4_on_append != 0) {
+    const std::size_t fail_on = faults.exit4_on_append;
+    checkpoint.sink_factory = [fail_on](const std::string& path) {
+      return std::make_unique<FaultyAppendSink>(
+          crp::harness::open_file_checkpoint_sink(path), fail_on);
+    };
+  }
+}
+
 int run_mode(const Options& options) {
   const OwnedGrid grid = build_grid(options);
   const auto sweep = sweep_options(options);
@@ -522,6 +762,7 @@ int run_mode(const Options& options) {
   checkpoint.resume = options.mode == "resume";
   checkpoint.interrupted = [] { return g_interrupted != 0; };
   checkpoint.max_cells = options.stop_after_cells;
+  arm_faults(parse_fault_env(), checkpoint);
   install_stop_handlers();
 
   const auto run = crp::harness::run_sweep_shard_checkpointed(
@@ -564,35 +805,7 @@ int merge_mode(const Options& options) {
   std::vector<ch::ShardArtifact> shards;
   shards.reserve(options.manifests.size());
   for (const std::string& manifest_path : options.manifests) {
-    std::ifstream manifest_in(manifest_path);
-    if (!manifest_in) {
-      throw ch::IoError("cannot open manifest " + manifest_path);
-    }
-    ch::ShardArtifact shard;
-    try {
-      shard.manifest = ch::read_shard_manifest(manifest_in);
-    } catch (const std::invalid_argument& error) {
-      // Corruption errors must name the file, not just the field.
-      throw std::invalid_argument(manifest_path + ": " + error.what());
-    }
-    if (shard.manifest.csv.empty()) {
-      throw std::invalid_argument("manifest " + manifest_path +
-                                  " names no CSV artifact");
-    }
-    const auto csv_path =
-        std::filesystem::path(manifest_path).parent_path() /
-        shard.manifest.csv;
-    std::ifstream csv_in(csv_path);
-    if (!csv_in) {
-      throw ch::IoError("cannot open shard CSV " + csv_path.string() +
-                        " (named by " + manifest_path + ")");
-    }
-    try {
-      shard.csv = ch::read_shard_csv(csv_in);
-    } catch (const std::invalid_argument& error) {
-      throw std::invalid_argument(csv_path.string() + ": " + error.what());
-    }
-    shards.push_back(std::move(shard));
+    shards.push_back(ch::read_shard_artifact_file(manifest_path));
   }
   std::ostringstream merged;
   if (!options.allow_partial) {
@@ -623,6 +836,65 @@ int merge_mode(const Options& options) {
   return kExitOk;
 }
 
+int supervise_mode(const Options& options) {
+  namespace ch = crp::harness;
+  const OwnedGrid grid = build_grid(options);
+  const auto sweep = sweep_options(options);
+
+  ch::SuperviseOptions supervise;
+  // Workers are re-execs of this binary. argv[0] without a slash
+  // came from PATH lookup, which execv does not repeat — the
+  // kernel's own record of the running image is the reliable name.
+  supervise.exe = options.argv0.find('/') == std::string::npos
+                      ? "/proc/self/exe"
+                      : options.argv0;
+  if (!options.grid_spec.empty()) {
+    supervise.worker_flags = {"--grid-spec", options.grid_spec};
+  } else {
+    supervise.worker_flags = {"--grid", options.grid, "--n",
+                              std::to_string(options.n)};
+  }
+  supervise.worker_flags.insert(
+      supervise.worker_flags.end(),
+      {"--trials", std::to_string(options.trials), "--seed",
+       std::to_string(options.seed), "--cd-engine", options.cd_engine});
+  if (options.threads != 0) {
+    supervise.worker_flags.insert(supervise.worker_flags.end(),
+                                  {"--threads",
+                                   std::to_string(options.threads)});
+  }
+  supervise.out = options.out;
+  supervise.out_dir = options.out_dir;
+  supervise.workers = options.workers;
+  supervise.resume = options.supervise_resume;
+  supervise.retry = options.retry;
+  // Jitter is seeded off the master seed (through the same stream
+  // derivation as cell seeds) so the whole supervised run — artifacts
+  // *and* schedule — is a function of the CLI arguments.
+  supervise.retry.jitter_seed =
+      crp::channel::derive_stream_seed(options.seed, 0x6a177e72u);
+  supervise.stop_requested = [] { return g_interrupted != 0; };
+  supervise.log = &std::cerr;
+  install_stop_handlers();
+
+  const ch::SuperviseResult result = ch::run_supervisor(
+      std::span<const ch::SweepCell>(grid.cells), sweep, supervise);
+  if (result.status == ch::SuperviseStatus::kInterrupted) {
+    std::cerr << "crp_shard: supervision stopped cleanly after "
+              << result.workers_spawned
+              << " worker launch(es); continue with `crp_shard supervise "
+                 "--resume` and the same flags\n";
+    return kExitResumable;
+  }
+  std::cerr << "crp_shard: supervised sweep converged: "
+            << (result.total_cells - result.quarantined.size()) << "/"
+            << result.total_cells << " cells in " << options.out << ", "
+            << result.quarantined.size() << " quarantined ("
+            << result.workers_spawned << " worker launches, "
+            << result.backfill_rounds << " backfill round(s))\n";
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -630,6 +902,7 @@ int main(int argc, char** argv) {
   try {
     if (options.mode == "merge") return merge_mode(options);
     if (options.mode == "plan") return plan_mode(options);
+    if (options.mode == "supervise") return supervise_mode(options);
     return run_mode(options);
   } catch (const crp::harness::IoError& error) {
     std::cerr << "crp_shard: I/O error: " << error.what() << "\n";
