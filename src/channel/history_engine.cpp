@@ -178,12 +178,14 @@ void HistoryTreeEngine::run_many(TrialBlock& block) const {
         while (node != harness::HistoryTreeNode::kNoChild &&
                path.size() < block.max_rounds) {
           const auto& n = tree.nodes[static_cast<std::size_t>(node)];
-          const double u = unit(rng);
-          if (u < n.cum_success) {
+          // Not the solve-draw column `u` above: the walk re-derives
+          // its own per-trial stream draw by draw.
+          const double draw = unit(rng);
+          if (draw < n.cum_success) {
             round = path.size() + 1;
             break;
           }
-          const bool collided = u >= n.cum_no_collision;
+          const bool collided = draw >= n.cum_no_collision;
           path.push_back(collided);
           node = collided ? n.collision : n.silence;
         }

@@ -8,7 +8,8 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace crp::channel::kernels {
 
@@ -59,33 +60,22 @@ Selection resolve() {
   if (host_supports(Tier::kAvx512)) best = Tier::kAvx512;
 
   if (const char* env = std::getenv("CRP_KERNEL_TIER")) {
-    Tier requested = best;
-    bool known = true;
-    if (std::strcmp(env, "scalar") == 0) {
-      requested = Tier::kScalar;
-    } else if (std::strcmp(env, "avx2") == 0) {
-      requested = Tier::kAvx2;
-    } else if (std::strcmp(env, "avx512") == 0) {
-      requested = Tier::kAvx512;
+    // Strict like the CRP_FAULT_* surface: an unrecognized value
+    // throws (parse_tier) instead of silently changing nothing —
+    // a typo'd cap would otherwise run the wrong tier and say so
+    // nowhere. crp_shard validates the variable up front and maps
+    // this to exit 2.
+    const Tier requested = parse_tier(env);
+    if (requested <= best) {
+      best = requested;  // a cap is always honored
     } else {
-      known = false;
+      // Requests above the host's capability fall back (the fleet
+      // driver can export one value for heterogeneous hosts), but
+      // say so: tier expectations are an auditing tool.
       std::fprintf(stderr,
-                   "crp: ignoring unknown CRP_KERNEL_TIER=%s "
-                   "(expected scalar|avx2|avx512)\n",
-                   env);
-    }
-    if (known) {
-      if (requested <= best) {
-        best = requested;  // a cap is always honored
-      } else {
-        // Requests above the host's capability fall back (the fleet
-        // driver can export one value for heterogeneous hosts), but
-        // say so: tier expectations are an auditing tool.
-        std::fprintf(stderr,
-                     "crp: CRP_KERNEL_TIER=%s unavailable on this host; "
-                     "using %s\n",
-                     env, tier_name(best));
-      }
+                   "crp: CRP_KERNEL_TIER=%s unavailable on this host; "
+                   "using %s\n",
+                   env, tier_name(best));
     }
   }
   return {ops_for(best), best};
@@ -97,6 +87,14 @@ Selection& selection() {
 }
 
 }  // namespace
+
+Tier parse_tier(std::string_view name) {
+  if (name == "scalar") return Tier::kScalar;
+  if (name == "avx2") return Tier::kAvx2;
+  if (name == "avx512") return Tier::kAvx512;
+  throw std::invalid_argument("unknown kernel tier \"" + std::string(name) +
+                              "\" (expected scalar|avx2|avx512)");
+}
 
 const char* tier_name(Tier tier) {
   switch (tier) {
@@ -131,6 +129,18 @@ const Ops& ops() { return *selection().ops; }
 Tier tier() { return selection().tier; }
 
 bool force_tier(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+    case Tier::kAvx2:
+    case Tier::kAvx512:
+      break;
+    default:
+      // A value that is not a Tier at all is a bug in the caller, not
+      // a capability gap — same strictness as parse_tier.
+      throw std::invalid_argument(
+          "force_tier: " + std::to_string(static_cast<int>(tier)) +
+          " is not a kernel tier");
+  }
   const Ops* forced = ops_for(tier);
   if (forced == nullptr) return false;
   selection() = {forced, tier};

@@ -41,6 +41,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 // The x86 backends need 64-bit x86 and a compiler that understands
 // function-target pragmas and __builtin_cpu_supports (GCC and Clang
@@ -64,6 +65,13 @@ enum class Tier : int {
 
 /// "scalar", "avx2", "avx512".
 const char* tier_name(Tier tier);
+
+/// The inverse of tier_name: parses a CRP_KERNEL_TIER value. Strict —
+/// an unrecognized name throws std::invalid_argument naming the value
+/// and the accepted set, like the CRP_FAULT_* env surface: a typo'd
+/// tier cap must be a hard error, not a silently ignored no-op
+/// (crp_shard maps the throw to its usage exit code 2).
+Tier parse_tier(std::string_view name);
 
 /// A borrowed view of one BatchNoCdSampler::SolveTable snapshot plus
 /// the search parameters that are uniform across a block: everything
@@ -133,7 +141,9 @@ Tier tier();
 const Ops* ops_for(Tier tier);
 
 /// Test hook: repoint ops()/tier() at an explicit tier. Returns false
-/// (and changes nothing) when the tier is unavailable. Not
+/// (and changes nothing) when the tier is valid but unavailable on
+/// this host/build; throws std::invalid_argument when the value is not
+/// a Tier enumerator at all (a bad cast, not a capability gap). Not
 /// synchronized — call only from single-threaded test setup.
 bool force_tier(Tier tier);
 

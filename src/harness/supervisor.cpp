@@ -596,12 +596,12 @@ struct Fleet {
   std::ostream* log;
   fs::path dir;
 
-  std::deque<FleetJob> pending;
-  std::vector<RunningWorker> running;
+  std::deque<FleetJob> pending{};
+  std::vector<RunningWorker> running{};
   /// Replayed + live bisection tree: range -> midpoint.
-  std::map<std::pair<std::size_t, std::size_t>, std::size_t> bisected;
-  std::vector<QuarantinedCell> quarantined;
-  std::unique_ptr<CheckpointSink> journal_sink;
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> bisected{};
+  std::vector<QuarantinedCell> quarantined{};
+  std::unique_ptr<CheckpointSink> journal_sink{};
   std::size_t workers_spawned = 0;
 
   void narrate(const std::string& message) const {
@@ -711,6 +711,10 @@ struct Fleet {
       // Unreachable on success; exec failure is a supervisor
       // misconfiguration (bad exe path), not a worker fault.
       ::perror("crp_shard supervise: execv");
+      // crp-lint: allow(exit-taxonomy) -- 127 is the shell/POSIX
+      // exec-failure convention, deliberately outside the worker
+      // taxonomy so handle_exit aborts supervision loudly instead of
+      // retrying a misconfigured exe path.
       ::_exit(127);
     }
     ++workers_spawned;

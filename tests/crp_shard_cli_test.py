@@ -100,6 +100,16 @@ with tempfile.TemporaryDirectory() as tmp:
           run("run", "--shard", "0/2", "--cells", "0:4", "--out-dir", tmp), 2)
     check("bad integer", run("run", "--trials", "-3"), 2)
     check("resume without sharding", run("resume", *GRID), 2)
+    # The env surface is as strict as the flag surface: a typo'd
+    # kernel-tier cap is a hard usage error before any work runs, not
+    # a silently ignored no-op.
+    check("unknown CRP_KERNEL_TIER",
+          run("run", *GRID, env=fault_env(CRP_KERNEL_TIER="avx1024")), 2,
+          stderr_contains=["CRP_KERNEL_TIER", "avx1024"])
+    check("valid CRP_KERNEL_TIER cap still runs",
+          run("run", *GRID, "--trials", "20",
+              env=fault_env(CRP_KERNEL_TIER="scalar")), 0,
+          stderr_contains=["kernel tier scalar"])
 
     # --- success and resumable interrupt: exits 0 and 75 ---
     check("monolithic run", run("run", *GRID, "--out", mono), 0)

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <limits>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -384,6 +385,33 @@ TEST(KernelDispatch, ReportsAConsistentTier) {
   EXPECT_STREQ(kernel_tier_name(), tier_name(tier()));
   EXPECT_NE(ops_for(Tier::kScalar), nullptr);  // scalar always exists
   EXPECT_NE(ops_for(tier()), nullptr);         // dispatch picked a real tier
+}
+
+TEST(KernelDispatch, ParseTierIsStrict) {
+  // The CRP_KERNEL_TIER env surface: every documented name round-trips
+  // through tier_name, everything else is a hard error — a typo'd cap
+  // must never silently dispatch a different tier.
+  EXPECT_EQ(parse_tier("scalar"), Tier::kScalar);
+  EXPECT_EQ(parse_tier("avx2"), Tier::kAvx2);
+  EXPECT_EQ(parse_tier("avx512"), Tier::kAvx512);
+  for (const Tier t : {Tier::kScalar, Tier::kAvx2, Tier::kAvx512}) {
+    EXPECT_EQ(parse_tier(tier_name(t)), t);
+  }
+  EXPECT_THROW(parse_tier("avx-512"), std::invalid_argument);
+  EXPECT_THROW(parse_tier("AVX2"), std::invalid_argument);
+  EXPECT_THROW(parse_tier("scalar "), std::invalid_argument);
+  EXPECT_THROW(parse_tier(""), std::invalid_argument);
+}
+
+TEST(KernelDispatch, ForceTierRejectsNonTierValues) {
+  // A bad cast is a caller bug (throw); a valid-but-absent tier is a
+  // capability gap (false). The distinction keeps skip-vs-fail honest
+  // in the tier-parameterized suites.
+  const Tier original = tier();
+  EXPECT_THROW(force_tier(static_cast<Tier>(99)), std::invalid_argument);
+  EXPECT_THROW(force_tier(static_cast<Tier>(-1)), std::invalid_argument);
+  EXPECT_EQ(tier(), original);  // nothing changed
+  ASSERT_TRUE(force_tier(original));
 }
 
 }  // namespace

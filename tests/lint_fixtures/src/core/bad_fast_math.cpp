@@ -1,0 +1,14 @@
+// Fixture: det-no-fp-contract — a per-TU contraction override. One
+// fused multiply-add in one TU rounds differently from the scalar
+// kernel reference and breaks the ISA-independence leg bitwise.
+#pragma STDC FP_CONTRACT ON  // expect-lint: det-no-fp-contract
+
+namespace crp::core {
+
+double bad_fused_dot(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace crp::core

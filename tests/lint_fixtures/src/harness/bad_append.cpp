@@ -1,0 +1,21 @@
+// Fixture: dur-fsync-append — journal appends with no fsync anywhere
+// in the file: the kernel may report the append complete and then
+// lose it on power failure, breaking the torn-tail recovery contract.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+
+namespace crp::harness {
+
+int bad_journal_fd(const std::string& path) {
+  return ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);  // expect-lint: dur-fsync-append
+}
+
+void bad_journal_stream(const std::string& path, const std::string& record) {
+  std::ofstream journal(path, std::ios::app);  // expect-lint: dur-atomic-artifacts dur-fsync-append
+  journal << record;
+}
+
+}  // namespace crp::harness

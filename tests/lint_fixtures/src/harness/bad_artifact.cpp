@@ -1,0 +1,23 @@
+// Fixture: dur-atomic-artifacts — final artifacts written through
+// bare streams/FILE*, which a crash or full disk leaves half-written
+// under the final name.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace crp::harness {
+
+void bad_csv_writer(const std::string& path, const std::string& rows) {
+  std::ofstream out(path);  // expect-lint: dur-atomic-artifacts
+  out << rows;
+}
+
+void bad_c_writer(const std::string& path, const std::string& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");  // expect-lint: dur-atomic-artifacts
+  if (f != nullptr) {
+    std::fwrite(rows.data(), 1, rows.size(), f);
+    std::fclose(f);
+  }
+}
+
+}  // namespace crp::harness

@@ -1,0 +1,47 @@
+// Fixture: det-no-unordered-iteration — iteration over hash
+// containers in a result path (order is unspecified and varies across
+// libstdc++ versions), with lookup-only negative controls.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace crp::harness {
+
+struct BadFold {
+  std::unordered_map<std::string, std::uint64_t> totals;
+  std::unordered_set<std::string> seen;
+
+  std::uint64_t fold_in_hash_order() const {
+    std::uint64_t sum = 0;
+    for (const auto& entry : totals) {  // expect-lint: det-no-unordered-iteration
+      sum += entry.second;
+    }
+    return sum;
+  }
+
+  std::size_t walk_with_iterators() const {
+    std::size_t count = 0;
+    for (auto it = seen.begin(); it != seen.end(); ++it) {  // expect-lint: det-no-unordered-iteration
+      ++count;
+    }
+    return count;
+  }
+
+  // Negative controls: point lookups and inserts are order-free and
+  // allowed; so is iterating an *ordered* map.
+  bool fine_lookup(const std::string& key) const {
+    return totals.find(key) != totals.end() && seen.count(key) != 0;
+  }
+
+  std::uint64_t fine_ordered_fold(
+      const std::map<std::string, std::uint64_t>& ordered) const {
+    std::uint64_t sum = 0;
+    for (const auto& entry : ordered) sum += entry.second;
+    return sum;
+  }
+};
+
+}  // namespace crp::harness

@@ -1,0 +1,18 @@
+// Fixture: lint-pragma — suppressions that do not meet the pragma
+// contract. A reasonless or malformed allow() is itself a finding AND
+// does not suppress the underlying violation.
+#include <ctime>
+#include <random>
+
+namespace crp::harness {
+
+// expect-next-line-lint: lint-pragma det-no-wallclock-rng
+std::random_device g_no_reason;  // crp-lint: allow(det-no-wallclock-rng)
+
+// expect-next-line-lint: lint-pragma det-no-wallclock-rng
+long g_unknown_rule = time(nullptr);  // crp-lint: allow(det-no-such-rule) -- not a rule
+
+// expect-next-line-lint: lint-pragma det-no-wallclock-rng
+long g_malformed = time(nullptr);  // crp-lint: please ignore this line
+
+}  // namespace crp::harness

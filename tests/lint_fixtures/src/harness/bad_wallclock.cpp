@@ -1,0 +1,42 @@
+// Fixture: det-no-wallclock-rng — every way of smuggling wall-clock
+// state or OS entropy into a result path, plus negative controls that
+// must NOT fire.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace crp::harness {
+
+double expected_time(double x);  // negative control: not `time(`
+
+unsigned long bad_seed_source() {
+  std::random_device device;  // expect-lint: det-no-wallclock-rng
+  return device();
+}
+
+unsigned long bad_c_seed() {
+  std::srand(42);  // expect-lint: det-no-wallclock-rng
+  return static_cast<unsigned long>(rand());  // expect-lint: det-no-wallclock-rng
+}
+
+long bad_wallclock_seed() {
+  return static_cast<long>(time(nullptr));  // expect-lint: det-no-wallclock-rng
+}
+
+long bad_chrono_seed() {
+  // system_clock is the wall clock; steady_clock (negative control
+  // below) is a duration source and allowed.
+  return std::chrono::system_clock::now().time_since_epoch().count();  // expect-lint: det-no-wallclock-rng
+}
+
+long fine_duration_source() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+double fine_call_sites() {
+  // Word-boundary negative controls: none of these are `time(`/`rand(`.
+  return expected_time(1.0) + strtod("1", nullptr);
+}
+
+}  // namespace crp::harness

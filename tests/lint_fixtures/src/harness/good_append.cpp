@@ -1,0 +1,21 @@
+// Fixture (negative control): an append-mode journal writer that
+// fsyncs is exactly the checkpoint.cpp discipline — dur-fsync-append
+// must stay quiet here.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+#include <string_view>
+
+namespace crp::harness {
+
+void good_journal_append(const std::string& path, std::string_view bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd >= 0) {
+    ::write(fd, bytes.data(), bytes.size());
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace crp::harness

@@ -1,0 +1,28 @@
+// Fixture: exit-taxonomy — magic exit codes and taxonomy bypasses in
+// the scheduler-facing driver paths, plus the sanctioned named-constant
+// form as a negative control.
+#include <cstdlib>
+
+namespace {
+constexpr int kExitValidation = 3;
+}
+
+void bad_magic_exit(bool corrupt) {
+  if (corrupt) {
+    std::exit(3);  // expect-lint: exit-taxonomy
+  }
+}
+
+void bad_underscore_exit() {
+  _exit(75);  // expect-lint: exit-taxonomy
+}
+
+void bad_abort() {
+  abort();  // expect-lint: exit-taxonomy
+}
+
+void fine_named_exit(bool corrupt) {
+  if (corrupt) {
+    std::exit(kExitValidation);
+  }
+}

@@ -131,6 +131,7 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
@@ -898,6 +899,17 @@ int supervise_mode(const Options& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The env surface is as strict as the flag surface: a typo'd
+  // CRP_KERNEL_TIER must fail loudly (exit 2) before any work runs,
+  // not silently dispatch whatever tier cpuid picked — tier provenance
+  // is part of every artifact's audit trail.
+  if (const char* env = std::getenv("CRP_KERNEL_TIER")) {
+    try {
+      crp::channel::kernels::parse_tier(env);
+    } catch (const std::invalid_argument& error) {
+      usage_error(std::string("CRP_KERNEL_TIER: ") + error.what());
+    }
+  }
   const Options options = parse_args(argc, argv);
   try {
     if (options.mode == "merge") return merge_mode(options);
